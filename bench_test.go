@@ -1,0 +1,87 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§5). Each benchmark regenerates its artifact in
+// quick mode (miniature dataset analogues, trimmed sweeps) and logs the
+// resulting table; `go run ./cmd/shogunbench` produces the full-scale
+// versions recorded in EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig9 -v     # print the regenerated table
+package shogun_test
+
+import (
+	"testing"
+
+	"shogun/internal/bench"
+)
+
+func quickOpts() bench.Options { return bench.Options{Quick: true} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the qualitative scheme comparison.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2 measures avg intermediate cache lines per task
+// (software miner over the dataset analogues).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 prints the simulator configuration in effect.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates the dataset statistics table.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig3a reproduces the pseudo-DFS vs parallel-DFS width sweep on
+// the compute-bound case (AstroPh × 4-clique).
+func BenchmarkFig3a(b *testing.B) { runExperiment(b, "fig3a") }
+
+// BenchmarkFig3b reproduces the width sweep on the thrashing-prone case
+// (Youtube × tailed triangle) with L1 hit rates.
+func BenchmarkFig3b(b *testing.B) { runExperiment(b, "fig3b") }
+
+// BenchmarkFig9 reproduces the Shogun-vs-FINGERS speedup grid (and the
+// Fig. 10 IU utilization companion) over the evaluation grid.
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig11 reproduces the task-tree-splitting load-balance
+// comparison on Wiki-Vote with 20 PEs.
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 reproduces the search-tree-merging on/off grid.
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13a reproduces the task-execution-width sensitivity sweep.
+func BenchmarkFig13a(b *testing.B) { runExperiment(b, "fig13a") }
+
+// BenchmarkFig13b reproduces the bunches-per-depth sensitivity sweep.
+func BenchmarkFig13b(b *testing.B) { runExperiment(b, "fig13b") }
+
+// BenchmarkFig14 reproduces the locality-monitoring-necessity comparison
+// (FINGERS vs Shogun vs parallel-DFS with enlarged L1s).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkAblation runs the design-choice ablation (sibling preference,
+// locality monitor, token budget, bunch count) — an extension beyond the
+// paper's own artifacts.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkScaling runs the strong-scaling extension (PE counts, split
+// on/off).
+func BenchmarkScaling(b *testing.B) { runExperiment(b, "scaling") }

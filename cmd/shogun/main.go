@@ -1,0 +1,177 @@
+// Command shogun runs one accelerator simulation and prints its
+// statistics.
+//
+// Usage:
+//
+//	shogun -dataset yo -pattern 4cl -scheme shogun
+//	shogun -graph edges.txt -pattern tt_v -scheme fingers -pes 4 -width 8
+//	shogun -dataset wi -pattern tc -scheme shogun -split -merge -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shogun/internal/accel"
+	"shogun/internal/datasets"
+	"shogun/internal/graph"
+	"shogun/internal/mine"
+	"shogun/internal/pattern"
+	"shogun/internal/trace"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "dataset analogue: wi|as|yo|pa|lj|or")
+		graphArg = flag.String("graph", "", "edge-list file (alternative to -dataset)")
+		patName  = flag.String("pattern", "tc", "pattern: tc|tt[_e|_v]|4cl|5cl|dia[_e|_v]|4cyc[_e|_v]|house")
+		scheme   = flag.String("scheme", "shogun", "scheme: shogun|fingers|pseudo-dfs|dfs|bfs|parallel-dfs")
+		pes      = flag.Int("pes", 10, "number of PEs")
+		width    = flag.Int("width", 8, "task execution width")
+		l1KB     = flag.Int("l1", 32, "L1 size in KB")
+		l2KB     = flag.Int("l2", 0, "L2 size in KB (0 = default)")
+		split    = flag.Bool("split", false, "enable task-tree splitting (shogun)")
+		merge    = flag.Bool("merge", false, "enable search-tree merging (shogun)")
+		tokens   = flag.Int("tokens", 0, "address tokens per depth (default: width)")
+		bunches  = flag.Int("bunches", 4, "task tree bunches per depth (shogun)")
+		verify   = flag.Bool("verify", true, "cross-check count against the software miner")
+		cfgPath  = flag.String("config", "", "load accelerator config from JSON (flags below override)")
+		dumpCfg  = flag.Bool("dumpconfig", false, "print the effective config as JSON and exit")
+		traceOut = flag.String("trace", "", "write per-task JSONL trace to file")
+		verbose  = flag.Bool("v", false, "print extended statistics")
+	)
+	flag.Parse()
+	if err := run(*dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *traceOut, *cfgPath, *dumpCfg); err != nil {
+		fmt.Fprintln(os.Stderr, "shogun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose bool, traceOut, cfgPath string, dumpCfg bool) error {
+	var g *graph.Graph
+	var err error
+	switch {
+	case dataset != "":
+		g, err = datasets.Get(dataset)
+	case graphArg != "":
+		var f *os.File
+		if f, err = os.Open(graphArg); err == nil {
+			defer f.Close()
+			g, err = graph.ReadEdgeList(f)
+		}
+	default:
+		return fmt.Errorf("need -dataset or -graph")
+	}
+	if err != nil {
+		return err
+	}
+
+	p, err := pattern.ByName(patName)
+	if err != nil {
+		return err
+	}
+	s, err := pattern.BuildWith(p, pattern.BuildOptions{Induced: strings.HasSuffix(patName, "_v")})
+	if err != nil {
+		return err
+	}
+
+	cfg := accel.DefaultConfig(accel.Scheme(scheme))
+	if cfgPath != "" {
+		var err error
+		if cfg, err = accel.LoadConfig(cfgPath); err != nil {
+			return err
+		}
+	}
+	cfg.NumPEs = pes
+	cfg.PE.Width = width
+	cfg.TokensPerDepth = width
+	if tokens > 0 {
+		cfg.TokensPerDepth = tokens
+	}
+	cfg.Tree.EntriesPerBunch = width
+	cfg.Tree.BunchesPerDepth = bunches
+	cfg.PE.L1.SizeKB = l1KB
+	if l2KB > 0 {
+		cfg.L2.SizeKB = l2KB
+	}
+	cfg.EnableSplitting = split
+	cfg.EnableMerging = merge
+
+	summary := trace.NewSummary()
+	timeline := trace.NewTimeline()
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Tracer = trace.Multi{trace.NewJSONL(f), summary, timeline}
+	} else if verbose {
+		cfg.Tracer = trace.Multi{summary, timeline}
+	}
+
+	if dumpCfg {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cfg)
+	}
+
+	st := g.ComputeStats()
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d, avg %.1f, skew %.1f\n",
+		st.Vertices, st.Edges, st.MaxDegree, st.AvgDegree, st.Skewness)
+	fmt.Printf("schedule %s:\n%s", s.Name, s.String())
+
+	a, err := accel.New(g, s, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := a.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nscheme=%s pes=%d width=%d\n", res.Scheme, pes, width)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("embeddings:      %d\n", res.Embeddings)
+	fmt.Printf("tasks:           %d internal + %d leaf\n", res.Tasks, res.LeafTasks)
+	fmt.Printf("IU utilization:  %.1f%%\n", res.IUUtil*100)
+	fmt.Printf("slot occupancy:  %.1f%%\n", res.SlotOccupancy*100)
+	fmt.Printf("L1 hit rate:     %.1f%% (avg latency %.1f cycles)\n", res.L1HitRate*100, res.L1AvgLatency)
+	fmt.Printf("L2 hit rate:     %.1f%%\n", res.L2HitRate*100)
+	fmt.Printf("DRAM:            %d reads, %d writes, %.1f%% bandwidth\n", res.DRAMReads, res.DRAMWrites, res.DRAMBandwidth*100)
+	fmt.Printf("NoC lines moved: %d\n", res.NoCLines)
+	if split || merge {
+		fmt.Printf("splits=%d merges=%d\n", res.Splits, res.Merges)
+	}
+	if verbose {
+		fmt.Printf("task latency by depth:\n%s", summary.String())
+		fmt.Printf("PE occupancy timeline:\n%s", timeline.Render(72))
+		fmt.Printf("conservative transitions: %d\n", res.ConservativeTransitions)
+		fmt.Printf("peak live sets:           %d\n", res.PeakLiveSets)
+		fmt.Printf("events processed:         %d\n", res.Events)
+		fmt.Printf("intermediate lines/task:  %.2f\n", res.IntermediateLinesPerTask)
+		p0 := a.PEs()[0]
+		fmt.Printf("phase avgs (pe0): decode=%.1f spm+disp=%.1f fetch=%.1f compute=%.1f wb=%.1f spawnw=%.1f leaf=%.1f residency=%.1f\n",
+			p0.PhaseDecode.Avg(), p0.PhaseSPM.Avg(), p0.PhaseFetch.Avg(), p0.PhaseCompute.Avg(), p0.PhaseWB.Avg(), p0.PhaseSpawnWait.Avg(), p0.PhaseLeaf.Avg(), p0.SlotResidency.Avg())
+		for _, pe := range a.PEs() {
+			fmt.Printf("  pe%d: tasks=%d last=%d iu=%.1f%% l1hit=%.1f%% slotavg=%.2f decode=%.1f%% dispatch=%.1f%% wb=%.1f%% spawn=%.1f%%\n",
+				pe.ID, pe.TasksExecuted.Total, pe.LastActive,
+				pe.IUPool.Utilization(res.Cycles)*100,
+				pe.L1.HitRate()*100,
+				pe.Slots.AvgOccupancy(res.Cycles),
+				pe.DecodeUtil(res.Cycles)*100, pe.DispatchUtil(res.Cycles)*100,
+				pe.WritebackUtil(res.Cycles)*100, pe.SpawnUtil(res.Cycles)*100)
+		}
+	}
+	if verify {
+		want := mine.Count(g, s)
+		if want != res.Embeddings {
+			return fmt.Errorf("VERIFY FAILED: simulator found %d embeddings, software miner %d", res.Embeddings, want)
+		}
+		fmt.Printf("verify: OK (software miner agrees: %d)\n", want)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command shogunbench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	shogunbench                     # run everything (full scale)
+//	shogunbench -exp fig9           # one experiment
+//	shogunbench -quick -exp fig12   # miniature graphs, seconds not minutes
+//	shogunbench -list               # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"shogun/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (default: all)")
+		quick   = flag.Bool("quick", false, "use miniature graphs and trimmed sweeps")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+		verbose = flag.Bool("v", false, "per-cell progress to stderr")
+		format  = flag.String("format", "text", "output format: text|csv|markdown")
+		chart   = flag.Int("chart", -1, "also render tables as ASCII bars of the given column (0 = last)")
+		save    = flag.String("save", "", "run all experiments and save a JSON baseline")
+		html    = flag.String("html", "", "run all experiments and write a self-contained HTML report")
+		check   = flag.String("check", "", "run all experiments and compare against a JSON baseline")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	o := bench.Options{Quick: *quick, Workers: *workers}
+	if *verbose {
+		o.Log = os.Stderr
+	}
+
+	if *save != "" || *check != "" || *html != "" {
+		tables, err := bench.CollectAll(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shogunbench:", err)
+			os.Exit(1)
+		}
+		if *save != "" {
+			if err := bench.SaveBaseline(*save, tables); err != nil {
+				fmt.Fprintln(os.Stderr, "shogunbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("baseline saved: %s (%d tables)\n", *save, len(tables))
+		}
+		if *check != "" {
+			if err := bench.CheckBaseline(*check, tables); err != nil {
+				fmt.Fprintln(os.Stderr, "shogunbench: REGRESSION:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("baseline check passed: %d tables match %s\n", len(tables), *check)
+		}
+		if *html != "" {
+			f, err := os.Create(*html)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shogunbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := bench.RenderHTML(f, tables); err != nil {
+				fmt.Fprintln(os.Stderr, "shogunbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("HTML report written: %s\n", *html)
+		}
+		return
+	}
+
+	if *exp == "" {
+		if err := bench.RunAllFormat(o, os.Stdout, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "shogunbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, err := bench.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shogunbench:", err)
+		os.Exit(1)
+	}
+	tables, err := e.Run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shogunbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		out, err := t.Format(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shogunbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *chart >= 0 {
+			fmt.Println(t.Chart(*chart))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package shogun_test
+
+import (
+	"fmt"
+
+	"shogun"
+)
+
+// Counting a pattern in software: build a schedule, run the miner.
+func Example() {
+	g, _ := shogun.NewGraph(5, []shogun.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, // triangle
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}, // another triangle
+	})
+	s, _ := shogun.BuildSchedule(shogun.Triangle(), false)
+	fmt.Println(shogun.Count(g, s))
+	// Output: 2
+}
+
+// Simulating the accelerator: the simulator computes the exact count too.
+func ExampleSimulate() {
+	g := shogun.GenerateErdosRenyi(100, 400, 1)
+	s, _ := shogun.BuildSchedule(shogun.Triangle(), false)
+	cfg := shogun.DefaultSimConfig(shogun.SchemeShogun)
+	cfg.NumPEs = 2
+	res, _ := shogun.Simulate(g, s, cfg)
+	fmt.Println(res.Embeddings == shogun.Count(g, s))
+	// Output: true
+}
+
+// Comparing scheduling schemes on the same workload.
+func ExampleSimulate_schemes() {
+	g := shogun.GenerateErdosRenyi(150, 700, 2)
+	s, _ := shogun.BuildSchedule(shogun.FourClique(), false)
+	want := shogun.Count(g, s)
+	agree := true
+	for _, scheme := range []shogun.Scheme{shogun.SchemeDFS, shogun.SchemeFingers, shogun.SchemeShogun} {
+		cfg := shogun.DefaultSimConfig(scheme)
+		cfg.NumPEs = 2
+		res, _ := shogun.Simulate(g, s, cfg)
+		agree = agree && res.Embeddings == want
+	}
+	fmt.Println(agree)
+	// Output: true
+}
+
+// Vertex-induced semantics: pattern non-edges must be absent.
+func ExampleBuildSchedule_induced() {
+	edge, _ := shogun.BuildSchedule(shogun.Diamond(), false)
+	vert, _ := shogun.BuildSchedule(shogun.Diamond(), true)
+	// K4 contains 6 edge-induced diamonds but no vertex-induced ones
+	// (the diamond's missing edge is always present in a clique).
+	k4, _ := shogun.NewGraph(4, []shogun.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+	})
+	fmt.Println(shogun.Count(k4, edge), shogun.Count(k4, vert))
+	// Output: 6 0
+}
+
+// Listing embeddings with a visitor.
+func ExampleMineEach() {
+	g, _ := shogun.NewGraph(4, []shogun.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3},
+	})
+	s, _ := shogun.BuildSchedule(shogun.Triangle(), false)
+	shogun.MineEach(g, s, func(m []shogun.VertexID) {
+		fmt.Println(m)
+	})
+	// Output: [2 1 0]
+}

@@ -1,0 +1,54 @@
+// Scheduler shoot-out: run every scheduling scheme the paper discusses on
+// one workload and print the Table 1 trade-offs as measured numbers —
+// cycles, FU utilization, slot occupancy and peak memory footprint.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shogun"
+)
+
+func main() {
+	g := shogun.GeneratePowerLawCluster(4000, 8, 0.6, 7) // clustered, clique-rich
+	s, err := shogun.BuildSchedule(shogun.FourClique(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := shogun.Count(g, s)
+	fmt.Printf("4-cliques: %d\n\n", want)
+	fmt.Printf("%-14s %12s %9s %9s %10s %12s\n",
+		"scheme", "cycles", "IU util", "slots", "L1 hit", "peak sets")
+
+	var base int64
+	for _, scheme := range []shogun.Scheme{
+		shogun.SchemeDFS,
+		shogun.SchemeBFS,
+		shogun.SchemePseudoDFS,
+		shogun.SchemeParallelDFS,
+		shogun.SchemeShogun,
+	} {
+		cfg := shogun.DefaultSimConfig(scheme)
+		cfg.NumPEs = 4
+		res, err := shogun.Simulate(g, s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Embeddings != want {
+			log.Fatalf("%s miscounted: %d != %d", scheme, res.Embeddings, want)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		fmt.Printf("%-14s %12d %8.1f%% %8.1f%% %9.1f%% %12d   (%.2fx vs dfs)\n",
+			res.Scheme, res.Cycles, res.IUUtil*100, res.SlotOccupancy*100,
+			res.L1HitRate*100, res.PeakLiveSets, float64(base)/float64(res.Cycles))
+	}
+	fmt.Println("\nNote the Table 1 trade-offs: BFS's footprint growth (per-depth")
+	fmt.Println("frontiers), DFS's single-slot serialism, pseudo-DFS's barrier")
+	fmt.Println("ceiling, and Shogun approaching parallel-DFS throughput with a")
+	fmt.Println("DFS-like bounded footprint and locality monitoring.")
+}

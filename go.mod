@@ -1,0 +1,3 @@
+module shogun
+
+go 1.22

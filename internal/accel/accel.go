@@ -1,0 +1,364 @@
+// Package accel assembles the full accelerator of §3.1: a centralized
+// system scheduler, multiple PEs, a shared L2 cache and DRAM behind a NoC.
+// It drives whole-application simulations for any of the scheduling
+// schemes and implements the system-level halves of the two Shogun
+// optimizations: load-imbalance detection + task-tree splitting (§4.1)
+// and the search-tree-merging decision logic (§4.2).
+package accel
+
+import (
+	"fmt"
+
+	"shogun/internal/core"
+	"shogun/internal/graph"
+	"shogun/internal/mem"
+	"shogun/internal/pattern"
+	"shogun/internal/pe"
+	"shogun/internal/policy"
+	"shogun/internal/sim"
+	"shogun/internal/task"
+	"shogun/internal/trace"
+)
+
+// Scheme names a task scheduling scheme.
+type Scheme string
+
+// The schemes of Table 1. Fingers is an alias for pseudo-DFS, the
+// baseline accelerator's scheduling.
+const (
+	SchemeShogun      Scheme = "shogun"
+	SchemePseudoDFS   Scheme = "pseudo-dfs"
+	SchemeFingers     Scheme = "fingers"
+	SchemeDFS         Scheme = "dfs"
+	SchemeBFS         Scheme = "bfs"
+	SchemeParallelDFS Scheme = "parallel-dfs"
+)
+
+// Config parameterizes an accelerator instance (Table 3 defaults).
+type Config struct {
+	Scheme Scheme
+	NumPEs int
+	PE     pe.Config
+	Tree   core.TreeConfig
+	L2     mem.CacheConfig
+	DRAM   mem.DRAMConfig
+	NoC    mem.NoCConfig
+	// TokensPerDepth is the address-token quota per search depth
+	// (default: the PE execution width, §3.2.3).
+	TokensPerDepth int
+	// EnableSplitting turns on task-tree splitting (Shogun only).
+	EnableSplitting bool
+	// EnableMerging turns on search-tree merging (Shogun only).
+	EnableMerging bool
+	// MaxHelpersPerSplit caps idle PEs assigned to one busy PE (§4.1
+	// uses 4, with multi-round rebalancing).
+	MaxHelpersPerSplit int
+	// BalancePeriod is the imbalance-detection cadence once all roots
+	// are dispatched.
+	BalancePeriod sim.Time
+	// MergePeriod is the merging-decision cadence.
+	MergePeriod sim.Time
+	// Deadline aborts runaway simulations (0 = none).
+	Deadline sim.Time
+	// Tracer, when set, receives one event per completed task on any PE.
+	Tracer trace.Tracer
+	// ForceConservative pins Shogun's conservative mode on and disables
+	// the locality monitor (ablation knob).
+	ForceConservative bool
+	// DisableMonitor turns the locality monitor off so conservative mode
+	// never engages (ablation knob).
+	DisableMonitor bool
+}
+
+// DefaultConfig mirrors Table 3 for the given scheme.
+func DefaultConfig(scheme Scheme) Config {
+	pc := pe.DefaultConfig()
+	return Config{
+		Scheme: scheme,
+		NumPEs: 10,
+		PE:     pc,
+		Tree:   core.DefaultTreeConfig(pc.Width),
+		// Table 3 specifies a 4 MB L2 for the full-scale SNAP datasets;
+		// the shared L2 is scaled with the dataset analogues (see
+		// DESIGN.md) so the cacheable-vs-streaming axis is preserved:
+		// wi/as/yo CSR data fits on chip, pa/lj/or does not.
+		L2: mem.CacheConfig{
+			Name:              "l2",
+			SizeKB:            1024,
+			Ways:              8,
+			HitLat:            18,
+			WriteAllocNoFetch: true,
+		},
+		DRAM:               mem.DefaultDRAMConfig(),
+		NoC:                mem.NoCConfig{Links: 0 /* auto: 2 per PE */, HopLat: 4, FlitCycles: 1},
+		TokensPerDepth:     pc.Width,
+		MaxHelpersPerSplit: 4,
+		BalancePeriod:      4096,
+		MergePeriod:        4096,
+	}
+}
+
+// Accelerator is one configured instance bound to a graph and schedule.
+type Accelerator struct {
+	cfg Config
+	eng *sim.Engine
+	w   *task.Workload
+
+	dram *mem.DRAM
+	l2   *mem.Cache
+	noc  *mem.NoC
+	pes  []*pe.PE
+	toks []*policy.Tokens
+
+	peRoots      []*policy.SliceRoots
+	splitPending map[int]bool
+	balanceArmed bool
+	mergeArmed   bool
+
+	Splits sim.Counter
+	Merges sim.Counter
+}
+
+// New builds an accelerator for graph g and schedule s.
+func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) {
+	if cfg.NumPEs < 1 {
+		return nil, fmt.Errorf("accel: need at least one PE")
+	}
+	if cfg.Scheme == SchemeFingers {
+		cfg.Scheme = SchemePseudoDFS
+	}
+	if cfg.ForceConservative || cfg.DisableMonitor {
+		cfg.PE.MonitorPeriod = 0
+	}
+	if cfg.NoC.Links <= 0 {
+		// Auto-size the fabric: two concurrent line transfers per PE,
+		// matching a banked-L2 crossbar that scales with the PE array.
+		cfg.NoC.Links = 2 * cfg.NumPEs
+	}
+	a := &Accelerator{
+		cfg:  cfg,
+		eng:  sim.NewEngine(),
+		w:    task.NewWorkload(g, s),
+		dram: mem.NewDRAM(cfg.DRAM),
+		noc:  mem.NewNoC(cfg.NoC),
+
+		splitPending: map[int]bool{},
+	}
+	l2, err := mem.NewCache(cfg.L2, a.dram)
+	if err != nil {
+		return nil, err
+	}
+	a.l2 = l2
+	// The system scheduler statically dispatches root vertices to PEs in
+	// chunked round-robin order (§3.1: PEs explore "the assigned root
+	// vertices"). Static assignment is what makes end-of-run load
+	// imbalance possible — and task-tree splitting (§4.1) valuable.
+	const rootChunk = 8
+	a.peRoots = make([]*policy.SliceRoots, cfg.NumPEs)
+	for i := range a.peRoots {
+		a.peRoots[i] = &policy.SliceRoots{}
+	}
+	for base := 0; base < g.NumVertices(); base += rootChunk {
+		pe := (base / rootChunk) % cfg.NumPEs
+		for v := base; v < base+rootChunk && v < g.NumVertices(); v++ {
+			a.peRoots[pe].Vertices = append(a.peRoots[pe].Vertices, graph.VertexID(v))
+		}
+	}
+
+	tokensPer := cfg.TokensPerDepth
+	if tokensPer <= 0 {
+		tokensPer = cfg.PE.Width
+	}
+	for i := 0; i < cfg.NumPEs; i++ {
+		l2path := a.noc.NewPath(a.l2)
+		p, err := pe.New(i, a.eng, cfg.PE, a.w, l2path)
+		if err != nil {
+			return nil, err
+		}
+		toks := policy.NewTokens(i, cfg.NumPEs, s.Depth(), tokensPer)
+		pol, err := a.buildPolicy(p, toks, a.peRoots[i])
+		if err != nil {
+			return nil, err
+		}
+		p.SetPolicy(pol)
+		if cfg.ForceConservative {
+			pol.SetConservative(true)
+		}
+		p.Tracer = cfg.Tracer
+		p.OnIdle = a.onPEIdle
+		a.pes = append(a.pes, p)
+		a.toks = append(a.toks, toks)
+	}
+	return a, nil
+}
+
+func (a *Accelerator) buildPolicy(p *pe.PE, toks *policy.Tokens, roots policy.RootSource) (pe.Policy, error) {
+	switch a.cfg.Scheme {
+	case SchemeShogun:
+		tc := a.cfg.Tree
+		if a.cfg.EnableMerging {
+			tc.MaxTrees = 2
+		}
+		t := core.NewTree(a.w, toks, roots, tc)
+		if a.cfg.EnableMerging {
+			// The second depth-1 bunch brings a second depth-1 token
+			// allotment (§4.2 implementation note).
+			toks.SetCap(1, a.cfg.TokensPerDepth*2)
+		}
+		return t, nil
+	case SchemePseudoDFS:
+		return policy.NewPseudoDFS(a.w, toks, roots, a.cfg.PE.Width), nil
+	case SchemeDFS:
+		return policy.NewDFS(a.w, toks, roots), nil
+	case SchemeBFS:
+		return policy.NewBFS(a.w, toks, roots), nil
+	case SchemeParallelDFS:
+		return policy.NewParallelDFS(a.w, toks, roots, a.cfg.PE.Width), nil
+	default:
+		return nil, fmt.Errorf("accel: unknown scheme %q", a.cfg.Scheme)
+	}
+}
+
+// PEStats is the per-PE slice of a Result.
+type PEStats struct {
+	Tasks         int64
+	Embeddings    int64
+	IUUtil        float64
+	L1HitRate     float64
+	L1AvgLatency  float64
+	Conservative  int64
+	LastActive    sim.Time
+	PeakTokens    int
+	SlotOccupancy float64
+}
+
+// Result aggregates one simulated run.
+type Result struct {
+	Scheme     Scheme
+	Cycles     sim.Time
+	Embeddings int64
+	Tasks      int64
+	LeafTasks  int64
+
+	IUUtil        float64 // all-PE average IU utilization
+	SlotOccupancy float64 // average execution slots in use / width
+	L1HitRate     float64
+	L1AvgLatency  float64
+	L2HitRate     float64
+	DRAMReads     int64
+	DRAMWrites    int64
+	DRAMBandwidth float64 // channel utilization
+	NoCLines      int64
+
+	IntermediateLinesPerTask float64 // Table 2 cross-check
+
+	// PerPE carries per-PE breakdowns (load-balance analysis).
+	PerPE []PEStats
+
+	Splits                  int64
+	Merges                  int64
+	ConservativeTransitions int64
+	PeakLiveSets            int
+
+	Events int64
+}
+
+// Run simulates to completion and returns the result. It fails if the
+// event queue drains while work remains (a scheduling deadlock — a
+// modeling bug worth failing loudly on) or the deadline is exceeded.
+func (a *Accelerator) Run() (*Result, error) {
+	for _, p := range a.pes {
+		p.Kick()
+	}
+	a.armMerge()
+	if a.cfg.Deadline > 0 {
+		if !a.eng.RunUntil(a.cfg.Deadline) {
+			// drained normally
+		} else {
+			return nil, fmt.Errorf("accel: deadline %d exceeded", a.cfg.Deadline)
+		}
+	} else {
+		a.eng.Run()
+	}
+	for i, p := range a.pes {
+		if p.HasWork() {
+			return nil, fmt.Errorf("accel: PE %d stalled with pending work (scheme %s)", i, a.cfg.Scheme)
+		}
+	}
+	return a.collect(), nil
+}
+
+func (a *Accelerator) collect() *Result {
+	// Cycles measures work completion: the latest task completion across
+	// PEs. The engine clock itself can drift past it on idle monitor
+	// events (balance/merge checks), which must not count as runtime.
+	var end sim.Time
+	for _, p := range a.pes {
+		if p.LastActive > end {
+			end = p.LastActive
+		}
+	}
+	r := &Result{Scheme: a.cfg.Scheme, Cycles: end, Events: a.eng.Processed}
+	var iuBusy, iuCap sim.Time
+	var l1Hits, l1Miss, l1LatSum, l1LatCnt int64
+	var slotSum float64
+	var interLines int64
+	for i, p := range a.pes {
+		ps := PEStats{
+			Tasks:         p.TasksExecuted.Total,
+			Embeddings:    p.Embeddings,
+			IUUtil:        p.IUPool.Utilization(r.Cycles),
+			L1HitRate:     p.L1.HitRate(),
+			Conservative:  p.ConservativeTransitions.Total,
+			LastActive:    p.LastActive,
+			PeakTokens:    a.toks[i].Peak(),
+			SlotOccupancy: p.Slots.AvgOccupancy(r.Cycles) / float64(a.cfg.PE.Width),
+		}
+		if p.L1.Latency.TotalCount > 0 {
+			ps.L1AvgLatency = float64(p.L1.Latency.TotalSum) / float64(p.L1.Latency.TotalCount)
+		}
+		r.PerPE = append(r.PerPE, ps)
+		r.Embeddings += p.Embeddings
+		r.Tasks += p.TasksExecuted.Total
+		r.LeafTasks += p.LeafTasks.Total
+		iuBusy += p.IUPool.Busy()
+		iuCap += r.Cycles * sim.Time(a.cfg.PE.IUs)
+		l1Hits += p.L1.Hits.Total
+		l1Miss += p.L1.Misses.Total
+		l1LatSum += p.L1.Latency.TotalSum
+		l1LatCnt += p.L1.Latency.TotalCount
+		slotSum += p.Slots.AvgOccupancy(r.Cycles) / float64(a.cfg.PE.Width)
+		interLines += p.IntermediateIn
+		r.ConservativeTransitions += p.ConservativeTransitions.Total
+		if t, ok := p.Policy().(*core.Tree); ok {
+			r.Merges += t.MergeFeeds.Total
+		}
+		if pk := a.toks[i].Peak(); pk > r.PeakLiveSets {
+			r.PeakLiveSets = pk
+		}
+	}
+	if iuCap > 0 {
+		r.IUUtil = float64(iuBusy) / float64(iuCap)
+	}
+	r.SlotOccupancy = slotSum / float64(len(a.pes))
+	r.L1HitRate = sim.Ratio(l1Hits, l1Hits+l1Miss)
+	if l1LatCnt > 0 {
+		r.L1AvgLatency = float64(l1LatSum) / float64(l1LatCnt)
+	}
+	r.L2HitRate = a.l2.HitRate()
+	r.DRAMReads = a.dram.Reads.Total
+	r.DRAMWrites = a.dram.Writes.Total
+	r.DRAMBandwidth = a.dram.BandwidthUtilization(r.Cycles)
+	r.NoCLines = a.noc.LinesMoved.Total
+	if r.Tasks+r.LeafTasks > 0 {
+		r.IntermediateLinesPerTask = float64(interLines) / float64(r.Tasks+r.LeafTasks)
+	}
+	r.Splits = a.Splits.Total
+	return r
+}
+
+// PEs exposes the PEs (tests, harness).
+func (a *Accelerator) PEs() []*pe.PE { return a.pes }
+
+// Workload exposes the bound workload.
+func (a *Accelerator) Workload() *task.Workload { return a.w }

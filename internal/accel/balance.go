@@ -1,0 +1,209 @@
+package accel
+
+import (
+	"shogun/internal/core"
+	"shogun/internal/graph"
+	"shogun/internal/mem"
+	"shogun/internal/pe"
+	"shogun/internal/task"
+)
+
+// onPEIdle fires when a PE runs out of runnable work. Once all search
+// trees are dispatched, idleness is the load-imbalance signal of §4.1:
+// the system scheduler checks whether busy PEs should split their task
+// trees onto the idlers.
+func (a *Accelerator) onPEIdle(_ *pe.PE) {
+	if !a.cfg.EnableSplitting || a.cfg.Scheme != SchemeShogun {
+		return
+	}
+	// With static dispatch an idle PE's own root queue is already empty,
+	// so idleness while peers stay busy IS the imbalance signal; the
+	// multi-round mechanism (§4.1) keeps sharing the stragglers' current
+	// trees as they drain through their backlogs.
+	a.armBalance()
+}
+
+// armBalance schedules one imbalance check (debounced).
+func (a *Accelerator) armBalance() {
+	if a.balanceArmed {
+		return
+	}
+	a.balanceArmed = true
+	a.eng.After(1, a.balanceCheck)
+}
+
+// balanceCheck implements Fig. 8: detect imbalance (idle PEs while others
+// stay busy), instruct heavily loaded PEs to split their task trees at
+// depth 1, and transfer root data to the idlers. Multiple rounds occur
+// naturally: the check re-arms while imbalance persists.
+func (a *Accelerator) balanceCheck() {
+	a.balanceArmed = false
+	var idle, busy []*pe.PE
+	for _, p := range a.pes {
+		if p.Idle() && !p.HasWork() {
+			idle = append(idle, p)
+		} else {
+			busy = append(busy, p)
+		}
+	}
+	if len(idle) == 0 || len(busy) == 0 {
+		if len(busy) > 0 {
+			// All busy: re-check later in case the tail imbalances.
+			a.eng.After(a.cfg.BalancePeriod, func() { a.armBalanceIfNeeded() })
+		}
+		return
+	}
+	// Filter helpers already reserved by an in-flight transfer.
+	free := idle[:0:0]
+	for _, h := range idle {
+		if !a.splitPending[h.ID] {
+			free = append(free, h)
+		}
+	}
+	helpersUsed := 0
+	for _, victim := range busy {
+		if helpersUsed >= len(free) {
+			break
+		}
+		tree, ok := victim.Policy().(*core.Tree)
+		if !ok {
+			continue
+		}
+		root := tree.SplittableRoot()
+		if root == nil {
+			continue
+		}
+		k := len(free) - helpersUsed
+		if k > a.cfg.MaxHelpersPerSplit {
+			k = a.cfg.MaxHelpersPerSplit
+		}
+		lo, hi, ok := tree.CarveSplit(root, k)
+		if !ok {
+			continue
+		}
+		a.transferSplit(victim, free[helpersUsed:helpersUsed+k], root, lo, hi)
+		helpersUsed += k
+	}
+	// Imbalance may remain (prediction uncertainty): schedule another
+	// round (§4.1's multi-round solution).
+	a.eng.After(a.cfg.BalancePeriod, a.armBalanceIfNeeded)
+}
+
+func (a *Accelerator) armBalanceIfNeeded() {
+	anyBusy := false
+	for _, p := range a.pes {
+		if !p.Idle() || p.HasWork() {
+			anyBusy = true
+			break
+		}
+	}
+	if anyBusy {
+		a.armBalance()
+	}
+}
+
+// transferSplit models the three partition-message types of §4.1 — the
+// root+range message, the set-size message, and the candidate-set cache
+// lines — then installs the split subtree on each helper.
+func (a *Accelerator) transferSplit(victim *pe.PE, helpers []*pe.PE, root *task.Node, lo, hi int) {
+	now := a.eng.Now()
+	// Snapshot the candidate set immediately: the victim's root node (and
+	// its Cand backing array) may be recycled before the transfer lands.
+	cand := append([]graph.VertexID(nil), root.Cand...)
+	rootVertex := root.Vertex
+	spawnLimit := root.SpawnLimit
+	total := hi - lo
+	share := total / len(helpers)
+	cur := lo
+	for i, h := range helpers {
+		start, end := cur, cur+share
+		if i == len(helpers)-1 {
+			end = hi
+		}
+		cur = end
+		if start >= end {
+			continue
+		}
+		htree := h.Policy().(*core.Tree) // split only runs for Shogun
+		slot, ok := a.toks[h.ID].TryAcquire(1)
+		if !ok {
+			panic("accel: idle helper has no free depth-1 token")
+		}
+		lines := int64(0)
+		if len(cand) > 0 {
+			lines = (int64(len(cand))*4 + mem.LineBytes - 1) / mem.LineBytes
+		}
+		// Two control messages + the data lines (§4.1's three types).
+		a.noc.Transfer(now, 0)
+		a.noc.Transfer(now, 0)
+		arrive := a.noc.Transfer(now, lines)
+		a.splitPending[h.ID] = true
+		helper := h
+		s, e := start, end
+		a.eng.At(arrive, func() { a.deliverSplit(helper, htree, rootVertex, cand, spawnLimit, s, e, slot) })
+	}
+	_ = victim // the victim's root range already shrank via CarveSplit
+}
+
+// deliverSplit installs a split subtree on the helper, retrying if the
+// helper's depth-0 capacity is momentarily occupied — the carved range
+// must never be dropped.
+func (a *Accelerator) deliverSplit(helper *pe.PE, htree *core.Tree, rootVertex graph.VertexID, cand []graph.VertexID, spawnLimit, s, e, slot int) {
+	now := a.eng.Now()
+	if htree.AdoptSplit(rootVertex, cand, spawnLimit, s, e, slot) {
+		// Install the transferred set into the helper's L1 (the one-time
+		// PE-to-PE copy the paper argues for over proxy access).
+		mem.AccessRange(helper.L1, now, a.w.Map.SetAddr(slot), int64(len(cand))*4, true)
+		a.splitPending[helper.ID] = false
+		a.Splits.Inc(1)
+		helper.Kick()
+		return
+	}
+	a.eng.After(a.cfg.BalancePeriod, func() {
+		a.deliverSplit(helper, htree, rootVertex, cand, spawnLimit, s, e, slot)
+	})
+}
+
+// armMerge starts the periodic merging-decision loop (§4.2) when enabled.
+func (a *Accelerator) armMerge() {
+	if !a.cfg.EnableMerging || a.cfg.Scheme != SchemeShogun || a.mergeArmed {
+		return
+	}
+	a.mergeArmed = true
+	a.eng.After(a.cfg.MergePeriod, a.mergeCheck)
+}
+
+// mergeCheck evaluates, per PE, the three §4.2 conditions: (1) FU
+// utilization has headroom, (2) L1 is not thrashing, (3) memory bandwidth
+// is not exhausted. PEs satisfying all three are allowed to pull a second
+// search tree.
+func (a *Accelerator) mergeCheck() {
+	a.mergeArmed = false
+	dramLat, dramHas := a.dram.Latency.WindowAvg()
+	a.dram.Latency.Roll()
+	bwOK := !dramHas || dramLat < 3*float64(a.cfg.DRAM.RowMissLat)
+	anyBusy := false
+	for _, p := range a.pes {
+		tree, ok := p.Policy().(*core.Tree)
+		if !ok {
+			continue
+		}
+		if !p.Idle() || p.HasWork() {
+			anyBusy = true
+		}
+		s := p.LastSample
+		allow := bwOK &&
+			s.IUUtil < p.Cfg.ConservUtilThresh &&
+			(!s.L1HasData || s.L1AvgLat < p.Cfg.ConservLatThresh) &&
+			!p.Conservative()
+		wasAllowed := tree.CanMerge()
+		tree.SetMergeAllowed(allow)
+		if allow && wasAllowed {
+			p.Kick()
+		}
+	}
+	if anyBusy {
+		a.mergeArmed = true
+		a.eng.After(a.cfg.MergePeriod, a.mergeCheck)
+	}
+}

@@ -1,0 +1,34 @@
+package accel
+
+import (
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+)
+
+// BenchmarkSimulate measures whole-accelerator simulation throughput
+// (simulated tasks per wall second) on a fixed workload.
+func BenchmarkSimulate(b *testing.B) {
+	g := gen.RMAT(1<<10, 6000, 0.6, 0.15, 0.15, 5)
+	s, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(SchemeShogun)
+	cfg.NumPEs = 4
+	b.ReportAllocs()
+	var tasks int64
+	for i := 0; i < b.N; i++ {
+		a, err := New(g, s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = res.Tasks
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}

@@ -1,0 +1,78 @@
+package accel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := DefaultConfig(SchemeShogun)
+	cfg.NumPEs = 7
+	cfg.PE.Width = 4
+	cfg.EnableMerging = true
+	cfg.Tree.BunchesPerDepth = 2
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPEs != 7 || got.PE.Width != 4 || !got.EnableMerging || got.Tree.BunchesPerDepth != 2 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Scheme != SchemeShogun {
+		t.Fatalf("scheme = %q", got.Scheme)
+	}
+}
+
+func TestLoadConfigLayersDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(path, []byte(`{"Scheme":"fingers","NumPEs":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumPEs != 3 {
+		t.Fatalf("NumPEs = %d", cfg.NumPEs)
+	}
+	// Unspecified fields fall back to Table 3 defaults.
+	if cfg.PE.Width != 8 || cfg.PE.IUs != 24 || cfg.L2.SizeKB != 1024 {
+		t.Fatalf("defaults not layered: %+v", cfg.PE)
+	}
+	// The loaded config must actually run.
+	g := gen.Clique(10)
+	s, _ := pattern.Build(pattern.Triangle())
+	a, err := New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != 120 {
+		t.Fatalf("count = %d", res.Embeddings)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig("/does/not/exist.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package accel
+
+import (
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+)
+
+// TestDeterminism: identical inputs must produce bit-identical results —
+// the property every debugging and ablation workflow depends on.
+func TestDeterminism(t *testing.T) {
+	g := gen.RMAT(256, 1500, 0.6, 0.15, 0.15, 3)
+	s, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		cfg := DefaultConfig(SchemeShogun)
+		cfg.NumPEs = 4
+		cfg.EnableSplitting = true
+		cfg.EnableMerging = true
+		a, err := New(g, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Embeddings != b.Embeddings || a.Events != b.Events ||
+		a.Splits != b.Splits || a.Merges != b.Merges ||
+		a.DRAMReads != b.DRAMReads || a.NoCLines != b.NoCLines {
+		t.Fatalf("nondeterministic simulation:\n%+v\nvs\n%+v", a, b)
+	}
+	for i := range a.PerPE {
+		if a.PerPE[i] != b.PerPE[i] {
+			t.Fatalf("PE %d stats differ: %+v vs %+v", i, a.PerPE[i], b.PerPE[i])
+		}
+	}
+}
+
+// TestPerPEStats sanity-checks the per-PE breakdown.
+func TestPerPEStats(t *testing.T) {
+	g := gen.RMAT(256, 1500, 0.6, 0.15, 0.15, 3)
+	s, _ := pattern.Build(pattern.Triangle())
+	cfg := DefaultConfig(SchemeShogun)
+	cfg.NumPEs = 4
+	a, err := New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerPE) != 4 {
+		t.Fatalf("PerPE entries = %d", len(r.PerPE))
+	}
+	var tasks, emb int64
+	for _, ps := range r.PerPE {
+		tasks += ps.Tasks
+		emb += ps.Embeddings
+		if ps.LastActive > r.Cycles {
+			t.Fatalf("PE finished after Cycles: %d > %d", ps.LastActive, r.Cycles)
+		}
+	}
+	if tasks != r.Tasks || emb != r.Embeddings {
+		t.Fatalf("per-PE sums (%d, %d) != totals (%d, %d)", tasks, emb, r.Tasks, r.Embeddings)
+	}
+}
+
+// TestWidthSensitivityShape: Shogun must scale with execution width better
+// than pseudo-DFS does (the Fig. 13a claim), on a clustered workload.
+func TestWidthSensitivityShape(t *testing.T) {
+	g := gen.PowerLawCluster(2500, 8, 0.6, 9)
+	s, _ := pattern.Build(pattern.FourClique())
+	run := func(scheme Scheme, width int) int64 {
+		cfg := DefaultConfig(scheme)
+		cfg.NumPEs = 2
+		cfg.PE.Width = width
+		cfg.TokensPerDepth = width
+		cfg.Tree.EntriesPerBunch = width
+		a, err := New(g, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	shogunScale := float64(run(SchemeShogun, 2)) / float64(run(SchemeShogun, 16))
+	fingersScale := float64(run(SchemePseudoDFS, 2)) / float64(run(SchemePseudoDFS, 16))
+	if shogunScale <= fingersScale {
+		t.Errorf("width scaling: shogun %.2fx <= fingers %.2fx", shogunScale, fingersScale)
+	}
+}

@@ -1,0 +1,131 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	s, _ := pattern.Build(pattern.Triangle())
+	cases := map[string]*graph.Graph{
+		"empty":     graph.MustNew(0, nil),
+		"isolated":  graph.MustNew(5, nil),
+		"one-edge":  graph.MustNew(2, []graph.Edge{{U: 0, V: 1}}),
+		"triangle":  gen.Clique(3),
+		"too-small": gen.Clique(2),
+	}
+	want := map[string]int64{"empty": 0, "isolated": 0, "one-edge": 0, "triangle": 1, "too-small": 0}
+	for name, g := range cases {
+		for _, scheme := range []Scheme{SchemeShogun, SchemePseudoDFS, SchemeDFS} {
+			cfg := DefaultConfig(scheme)
+			cfg.NumPEs = 2
+			a, err := New(g, s, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, scheme, err)
+			}
+			res, err := a.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, scheme, err)
+			}
+			if res.Embeddings != want[name] {
+				t.Errorf("%s/%s: %d embeddings, want %d", name, scheme, res.Embeddings, want[name])
+			}
+		}
+	}
+}
+
+func TestDeadlineAborts(t *testing.T) {
+	g := gen.RMAT(1<<10, 8000, 0.6, 0.15, 0.15, 2)
+	s, _ := pattern.Build(pattern.FourClique())
+	cfg := DefaultConfig(SchemeShogun)
+	cfg.Deadline = 50 // absurdly tight
+	a, err := New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("deadline not enforced: %v", err)
+	}
+}
+
+func TestMorePEsThanRoots(t *testing.T) {
+	g := gen.Clique(6)
+	s, _ := pattern.Build(pattern.Triangle())
+	cfg := DefaultConfig(SchemeShogun)
+	cfg.NumPEs = 16 // more PEs than vertices
+	cfg.EnableSplitting = true
+	a, err := New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != 20 {
+		t.Fatalf("K6 triangles = %d", res.Embeddings)
+	}
+}
+
+func TestSingleEntryBunches(t *testing.T) {
+	// Degenerate tree geometry: width 1, single-entry bunches.
+	g := gen.RMAT(128, 700, 0.6, 0.15, 0.15, 7)
+	s, _ := pattern.Build(pattern.FourClique())
+	cfg := DefaultConfig(SchemeShogun)
+	cfg.NumPEs = 2
+	cfg.PE.Width = 1
+	cfg.TokensPerDepth = 1
+	cfg.Tree.EntriesPerBunch = 1
+	a, err := New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(g, s, DefaultConfig(SchemeShogun))
+	ref, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != ref.Embeddings {
+		t.Fatalf("width-1 tree miscounted: %d != %d", res.Embeddings, ref.Embeddings)
+	}
+}
+
+func TestAblationKnobsPreserveCounts(t *testing.T) {
+	g := gen.RMAT(256, 1400, 0.6, 0.15, 0.15, 19)
+	s, _ := pattern.Build(pattern.FourCycle())
+	base, _ := New(g, s, DefaultConfig(SchemeShogun))
+	ref, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Tree.NoSiblingPreference = true },
+		func(c *Config) { c.ForceConservative = true },
+		func(c *Config) { c.DisableMonitor = true },
+		func(c *Config) { c.TokensPerDepth = 2 },
+		func(c *Config) { c.Tree.BunchesPerDepth = 1 },
+	} {
+		cfg := DefaultConfig(SchemeShogun)
+		cfg.NumPEs = 4
+		mutate(&cfg)
+		a, err := New(g, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Embeddings != ref.Embeddings {
+			t.Fatalf("ablation variant miscounted: %d != %d", res.Embeddings, ref.Embeddings)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package accel
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+// goldenEntry freezes the observable outcome of one deterministic run.
+// Cycles pins the timing model; Embeddings and Tasks pin the algorithmic
+// behaviour. Any intentional model change must regenerate the file:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/accel -run TestGolden
+type goldenEntry struct {
+	Key        string `json:"key"`
+	Cycles     int64  `json:"cycles"`
+	Embeddings int64  `json:"embeddings"`
+	Tasks      int64  `json:"tasks"`
+}
+
+func goldenCells(t *testing.T) (map[string]*graph.Graph, []struct {
+	key    string
+	g      string
+	wl     string
+	scheme Scheme
+	mutate func(*Config)
+}) {
+	t.Helper()
+	graphs := map[string]*graph.Graph{
+		"rmat": gen.RMAT(256, 1500, 0.6, 0.15, 0.15, 42),
+		"plc":  gen.PowerLawCluster(300, 6, 0.6, 43),
+	}
+	cells := []struct {
+		key    string
+		g      string
+		wl     string
+		scheme Scheme
+		mutate func(*Config)
+	}{
+		{"rmat/4cl/shogun", "rmat", "4cl", SchemeShogun, nil},
+		{"rmat/4cl/fingers", "rmat", "4cl", SchemePseudoDFS, nil},
+		{"rmat/tt_v/shogun", "rmat", "tt_v", SchemeShogun, nil},
+		{"plc/dia_e/shogun", "plc", "dia_e", SchemeShogun, nil},
+		{"plc/4cyc_e/parallel-dfs", "plc", "4cyc_e", SchemeParallelDFS, nil},
+		{"rmat/tc/shogun+opts", "rmat", "tc", SchemeShogun, func(c *Config) {
+			c.EnableSplitting = true
+			c.EnableMerging = true
+		}},
+	}
+	return graphs, cells
+}
+
+func TestGoldenResults(t *testing.T) {
+	graphs, cells := goldenCells(t)
+	var got []goldenEntry
+	for _, c := range cells {
+		var wl *pattern.Schedule
+		for _, w := range workloadsForGolden(t) {
+			if w.name == c.wl {
+				wl = w.s
+			}
+		}
+		if wl == nil {
+			t.Fatalf("unknown workload %s", c.wl)
+		}
+		cfg := DefaultConfig(c.scheme)
+		cfg.NumPEs = 4
+		if c.mutate != nil {
+			c.mutate(&cfg)
+		}
+		a, err := New(graphs[c.g], wl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, goldenEntry{c.key, res.Cycles, res.Embeddings, res.Tasks + res.LeafTasks})
+	}
+
+	path := filepath.Join("testdata", "golden.json")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.MarshalIndent(got, "", "  ")
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range got {
+			if i < len(want) && got[i] != want[i] {
+				t.Errorf("golden drift at %s:\n  got  %+v\n  want %+v", got[i].Key, got[i], want[i])
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("golden entry count %d != %d", len(got), len(want))
+		}
+		t.Log("intentional model changes require GOLDEN_UPDATE=1 to regenerate")
+	}
+}
+
+type namedSchedule struct {
+	name string
+	s    *pattern.Schedule
+}
+
+func workloadsForGolden(t *testing.T) []namedSchedule {
+	t.Helper()
+	mk := func(p pattern.Pattern, induced bool) namedSchedule {
+		s, err := pattern.BuildWith(p, pattern.BuildOptions{Induced: induced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return namedSchedule{s.Name, s}
+	}
+	return []namedSchedule{
+		mk(pattern.Triangle(), false),
+		mk(pattern.FourClique(), false),
+		mk(pattern.TailedTriangle(), true),
+		mk(pattern.Diamond(), false),
+		mk(pattern.FourCycle(), false),
+	}
+}

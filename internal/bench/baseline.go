@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baselineTable is the serialized form of a Table (rows only; notes may
+// contain measured values and are kept for context but not compared).
+type baselineTable struct {
+	ID     string     `json:"id"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// CollectAll runs every experiment (fig10 skipped: bundled with fig9) and
+// returns the tables.
+func CollectAll(o Options) ([]*Table, error) {
+	var out []*Table
+	for _, e := range Experiments() {
+		if e.ID == "fig10" {
+			continue
+		}
+		o.logf("== running %s (%s)", e.ID, e.Desc)
+		tables, err := e.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}
+
+// SaveBaseline writes the tables to a JSON baseline file. Because every
+// simulation is deterministic, future runs on unchanged code reproduce
+// the file exactly; `shogunbench -check` turns that into a regression
+// test for the entire evaluation.
+func SaveBaseline(path string, tables []*Table) error {
+	bt := make([]baselineTable, len(tables))
+	for i, t := range tables {
+		bt[i] = baselineTable{ID: t.ID, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	}
+	b, err := json.MarshalIndent(bt, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// CheckBaseline compares tables against a saved baseline, returning a
+// descriptive error on the first drift.
+func CheckBaseline(path string, tables []*Table) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want []baselineTable
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("bench: %s: %w", path, err)
+	}
+	byID := map[string]baselineTable{}
+	for _, t := range want {
+		byID[t.ID] = t
+	}
+	for _, t := range tables {
+		w, ok := byID[t.ID]
+		if !ok {
+			return fmt.Errorf("bench: baseline missing table %q (regenerate with -save)", t.ID)
+		}
+		if len(w.Rows) != len(t.Rows) {
+			return fmt.Errorf("bench: %s: %d rows, baseline has %d", t.ID, len(t.Rows), len(w.Rows))
+		}
+		for r := range t.Rows {
+			if len(t.Rows[r]) != len(w.Rows[r]) {
+				return fmt.Errorf("bench: %s row %d: column count drift", t.ID, r)
+			}
+			for c := range t.Rows[r] {
+				if t.Rows[r][c] != w.Rows[r][c] {
+					return fmt.Errorf("bench: %s row %d col %d: got %q, baseline %q",
+						t.ID, r, c, t.Rows[r][c], w.Rows[r][c])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"shogun/internal/accel"
+	"shogun/internal/datasets"
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/mine"
+	"shogun/internal/pattern"
+)
+
+func log(v float64) float64 { return math.Log(v) }
+func exp(v float64) float64 { return math.Exp(v) }
+
+// Options configures an experiment run.
+type Options struct {
+	// Quick shrinks the dataset analogues (~8x fewer edges) and trims
+	// sweeps so an experiment finishes in seconds; used by the
+	// testing.B benchmarks. Full mode reproduces the complete grids.
+	Quick bool
+	// Workers bounds concurrent simulations (default: GOMAXPROCS).
+	Workers int
+	// Log, when non-nil, receives one progress line per finished cell.
+	Log io.Writer
+	// Verify cross-checks every simulated embedding count against the
+	// software miner (default on; the harness refuses to report numbers
+	// from a simulator that miscounts).
+	SkipVerify bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// dataset returns the analogue (or its quick-mode miniature).
+func (o Options) dataset(name string) *graph.Graph {
+	if !o.Quick {
+		return datasets.MustGet(name)
+	}
+	return quickGraph(name)
+}
+
+var (
+	quickMu    sync.Mutex
+	quickCache = map[string]*graph.Graph{}
+)
+
+// quickGraph builds miniature analogues preserving each dataset's
+// qualitative regime at ~1/8 the edge count.
+func quickGraph(name string) *graph.Graph {
+	quickMu.Lock()
+	defer quickMu.Unlock()
+	if g, ok := quickCache[name]; ok {
+		return g
+	}
+	var g *graph.Graph
+	switch name {
+	case "wi":
+		g = gen.RMAT(1<<11, 8000, 0.55, 0.17, 0.17, 101)
+	case "as":
+		g = gen.PowerLawCluster(2200, 6, 0.6, 102)
+	case "yo":
+		g = gen.RMAT(1<<12, 6000, 0.62, 0.14, 0.14, 103)
+	case "pa":
+		g = gen.NearRegular(10000, 9, 104)
+	case "lj":
+		g = gen.RMAT(1<<12, 20000, 0.55, 0.17, 0.17, 105)
+	case "or":
+		g = gen.RMAT(1<<11, 24000, 0.45, 0.22, 0.22, 106)
+	default:
+		panic("bench: unknown dataset " + name)
+	}
+	quickCache[name] = g
+	return g
+}
+
+// Workloads returns the paper's nine evaluated schedules.
+func Workloads() []datasets.Workload { return datasets.Workloads() }
+
+// cell is one simulation to run.
+type cell struct {
+	key string
+	g   *graph.Graph
+	s   *pattern.Schedule
+	cfg accel.Config
+}
+
+// runCells executes cells concurrently (each simulation is single-
+// threaded and independent) and returns results keyed by cell key.
+func runCells(o Options, cells []cell) (map[string]*accel.Result, error) {
+	type outcome struct {
+		key string
+		res *accel.Result
+		err error
+	}
+	sem := make(chan struct{}, o.workers())
+	outs := make(chan outcome, len(cells))
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := runOne(o, c)
+			outs <- outcome{c.key, res, err}
+		}(c)
+	}
+	wg.Wait()
+	close(outs)
+	results := map[string]*accel.Result{}
+	for out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", out.key, out.err)
+		}
+		results[out.key] = out.res
+	}
+	return results, nil
+}
+
+var (
+	countMu    sync.Mutex
+	countCache = map[string]int64{}
+)
+
+// expectedCount returns the software miner's embedding count for a
+// (graph, schedule) pair, cached across cells.
+func expectedCount(g *graph.Graph, s *pattern.Schedule) int64 {
+	key := fmt.Sprintf("%p/%s", g, s.Name)
+	countMu.Lock()
+	if v, ok := countCache[key]; ok {
+		countMu.Unlock()
+		return v
+	}
+	countMu.Unlock()
+	v := mine.Count(g, s)
+	countMu.Lock()
+	countCache[key] = v
+	countMu.Unlock()
+	return v
+}
+
+func runOne(o Options, c cell) (*accel.Result, error) {
+	a, err := accel.New(c.g, c.s, c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !o.SkipVerify {
+		want := expectedCount(c.g, c.s)
+		if res.Embeddings != want {
+			return nil, fmt.Errorf("count mismatch: sim=%d software=%d", res.Embeddings, want)
+		}
+	}
+	o.logf("  %-24s %12d cycles  IU=%5.1f%%  L1=%5.1f%%", c.key, res.Cycles, res.IUUtil*100, res.L1HitRate*100)
+	return res, nil
+}
+
+// baseConfig returns the Table 3 configuration for a scheme.
+func baseConfig(scheme accel.Scheme) accel.Config {
+	return accel.DefaultConfig(scheme)
+}

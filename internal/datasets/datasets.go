@@ -1,0 +1,125 @@
+// Package datasets provides the six named graph analogues standing in for
+// the SNAP datasets of the paper's Table 4 (Wiki-Vote, AstroPh, Youtube,
+// Patents, LiveJournal, Orkut).
+//
+// The originals are not redistributable here and at full scale would make a
+// software cycle-level simulation take days (the paper itself excluded four
+// cells for exceeding 4 days on their simulator). Each analogue is
+// generated deterministically (internal/gen) and tuned to sit at the same
+// qualitative position on the axes that drive the evaluation:
+//
+//	wi  – small, cacheable on chip, moderate skew      (Wiki-Vote)
+//	as  – small, cacheable, high clustering            (AstroPh)
+//	yo  – sparse, very low average degree, high skew   (Youtube)
+//	pa  – sparse, low degree variance                  (Patents)
+//	lj  – large, higher degree, skewed                 (LiveJournal)
+//	or  – large, dense, memory-bandwidth bound         (Orkut)
+//
+// Scale factors are recorded in each Spec so EXPERIMENTS.md can state the
+// substitution precisely.
+package datasets
+
+import (
+	"fmt"
+	"sync"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+)
+
+// Spec describes one analogue.
+type Spec struct {
+	Name  string // short name used across the paper's figures
+	Long  string // original dataset it stands in for
+	OrigV string // original vertex count, for documentation
+	OrigE string // original edge count, for documentation
+	Make  func() *graph.Graph
+	// Scale notes roughly how much smaller the analogue is than the
+	// original (vertices).
+	Scale string
+}
+
+const seed = 20230617 // ISCA'23 conference start date; fixed for determinism
+
+var specs = []Spec{
+	{
+		Name: "wi", Long: "Wiki-Vote", OrigV: "7.12K", OrigE: "100.37K", Scale: "1x (same order)",
+		Make: func() *graph.Graph { return gen.RMAT(1<<13, 60000, 0.55, 0.17, 0.17, seed+1) },
+	},
+	{
+		Name: "as", Long: "AstroPh", OrigV: "18.77K", OrigE: "198.11K", Scale: "~2x smaller",
+		Make: func() *graph.Graph { return gen.PowerLawCluster(9000, 11, 0.6, seed+2) },
+	},
+	{
+		Name: "yo", Long: "Youtube", OrigV: "1.13M", OrigE: "2.99M", Scale: "~70x smaller",
+		Make: func() *graph.Graph { return gen.RMAT(1<<14, 42000, 0.62, 0.14, 0.14, seed+3) },
+	},
+	{
+		Name: "pa", Long: "Patents", OrigV: "3.77M", OrigE: "16.52M", Scale: "~50x smaller",
+		Make: func() *graph.Graph { return gen.NearRegular(80000, 9, seed+4) },
+	},
+	{
+		Name: "lj", Long: "LiveJournal", OrigV: "4.00M", OrigE: "34.68M", Scale: "~120x smaller",
+		Make: func() *graph.Graph { return gen.RMAT(1<<15, 160000, 0.55, 0.17, 0.17, seed+5) },
+	},
+	{
+		Name: "or", Long: "Orkut", OrigV: "3.07M", OrigE: "117.19M", Scale: "~370x smaller",
+		Make: func() *graph.Graph { return gen.RMAT(1<<13, 180000, 0.45, 0.22, 0.22, seed+6) },
+	},
+}
+
+var (
+	mu    sync.Mutex
+	cache = map[string]*graph.Graph{}
+)
+
+// Names returns the analogue names in the paper's order.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup returns the Spec for name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name || s.Long == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+}
+
+// Get builds (or returns the cached) analogue graph for name.
+func Get(name string) (*graph.Graph, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if g, ok := cache[s.Name]; ok {
+		return g, nil
+	}
+	g := s.Make()
+	cache[s.Name] = g
+	return g, nil
+}
+
+// MustGet is Get for callers with known-valid names (harness, tests).
+func MustGet(name string) *graph.Graph {
+	g, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// All returns the specs in paper order.
+func All() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}

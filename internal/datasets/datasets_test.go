@@ -1,0 +1,107 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestNamesAndLookup(t *testing.T) {
+	names := Names()
+	want := []string{"wi", "as", "yo", "pa", "lj", "or"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+	if _, err := Lookup("lj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("LiveJournal"); err != nil {
+		t.Fatal("long-name lookup failed")
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Fatal("bogus lookup succeeded")
+	}
+	if _, err := Get("bogus"); err == nil {
+		t.Fatal("bogus Get succeeded")
+	}
+}
+
+func TestGetCachesGraphs(t *testing.T) {
+	a := MustGet("wi")
+	b := MustGet("wi")
+	if a != b {
+		t.Fatal("dataset graph not cached")
+	}
+}
+
+// TestAnalogueRegimes verifies each analogue sits in its original's
+// qualitative regime (the axes DESIGN.md's substitution table promises).
+func TestAnalogueRegimes(t *testing.T) {
+	stats := map[string]struct {
+		v, e      int64
+		avg, skew float64
+		maxDeg    int
+	}{}
+	for _, n := range Names() {
+		s := MustGet(n).ComputeStats()
+		stats[n] = struct {
+			v, e      int64
+			avg, skew float64
+			maxDeg    int
+		}{int64(s.Vertices), s.Edges, s.AvgDegree, s.Skewness, s.MaxDegree}
+	}
+	// wi/as are small (cacheable on chip at the scaled L2).
+	for _, n := range []string{"wi", "as"} {
+		if stats[n].e*8 > 1<<20 {
+			t.Errorf("%s: CSR %d bytes exceeds the scaled 1MB L2", n, stats[n].e*8)
+		}
+	}
+	// yo: lowest average degree, highest skew.
+	for _, n := range []string{"wi", "as", "pa", "lj", "or"} {
+		if stats["yo"].avg >= stats[n].avg {
+			t.Errorf("yo avg degree %.1f not below %s's %.1f", stats["yo"].avg, n, stats[n].avg)
+		}
+	}
+	if stats["yo"].skew < 8 {
+		t.Errorf("yo skew %.1f too low", stats["yo"].skew)
+	}
+	// pa: low degree variance (skew near zero).
+	if stats["pa"].skew > 2 {
+		t.Errorf("pa skew %.1f too high for a near-regular analogue", stats["pa"].skew)
+	}
+	// or: densest by average degree.
+	for _, n := range []string{"wi", "as", "yo", "pa", "lj"} {
+		if stats["or"].avg <= stats[n].avg {
+			t.Errorf("or avg %.1f not above %s's %.1f", stats["or"].avg, n, stats[n].avg)
+		}
+	}
+	// lj/or CSR exceeds the scaled L2 (memory-bound axis).
+	for _, n := range []string{"lj", "or"} {
+		if stats[n].e*8 < 1<<20 {
+			t.Errorf("%s: CSR %d bytes fits the scaled L2; should stream", n, stats[n].e*8)
+		}
+	}
+}
+
+func TestWorkloadsCoverPaperGrid(t *testing.T) {
+	wls := Workloads()
+	names := map[string]bool{}
+	for _, w := range wls {
+		names[w.Name] = true
+		if w.Schedule == nil || w.Schedule.Depth() < 3 {
+			t.Errorf("workload %s has bad schedule", w.Name)
+		}
+	}
+	for _, want := range []string{"tc", "tt_e", "tt_v", "4cl", "5cl", "dia_e", "dia_v", "4cyc_e", "4cyc_v"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+	exc := Excluded()
+	if len(exc) != 5 {
+		t.Errorf("excluded cells = %v", exc)
+	}
+}

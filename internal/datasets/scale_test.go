@@ -1,0 +1,38 @@
+package datasets
+
+import (
+	"testing"
+
+	"shogun/internal/mine"
+)
+
+// TestScaleBudget measures the search-tree size of every (dataset,
+// schedule) cell of the paper's evaluation grid, failing if any included
+// cell exceeds the simulation budget (the paper's own 4-day-exclusion
+// rule, scaled to our simulator's throughput). Run with -v to see the
+// grid; it doubles as the data for sizing decisions in DESIGN.md.
+func TestScaleBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Cells the paper excluded for >4-day runtimes; we exclude the same.
+	excluded := Excluded()
+	const budget = 16_000_000 // internal tasks per cell
+	for _, name := range Names() {
+		g := MustGet(name)
+		for _, wl := range Workloads() {
+			cell := name + "/" + wl.Name
+			if excluded[cell] {
+				continue
+			}
+			res := mine.NewMiner(g, wl.Schedule).Run()
+			internal := res.Tasks() - res.TasksPerDepth[len(res.TasksPerDepth)-1]
+			t.Logf("%-12s internal=%-12d leaves=%-12d embeddings=%d",
+				cell, internal, res.TasksPerDepth[len(res.TasksPerDepth)-1], res.Embeddings)
+			if internal > budget {
+				t.Errorf("%s: %d internal tasks exceeds simulation budget %d — shrink the analogue",
+					cell, internal, budget)
+			}
+		}
+	}
+}

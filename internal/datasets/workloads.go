@@ -1,0 +1,47 @@
+package datasets
+
+import (
+	"fmt"
+
+	"shogun/internal/pattern"
+)
+
+// Excluded returns the evaluation cells the paper left out for exceeding
+// a 4-day simulator runtime (§5.1.2); this reproduction excludes the same
+// cells.
+func Excluded() map[string]bool {
+	return map[string]bool{
+		"lj/5cl": true, "or/4cl": true, "or/5cl": true,
+		"or/4cyc_e": true, "or/4cyc_v": true,
+	}
+}
+
+// Workload pairs a paper workload name with its schedule.
+
+type Workload struct {
+	Name     string
+	Schedule *pattern.Schedule
+}
+
+// Workloads returns the paper's nine evaluated schedules (tc, tt_e, tt_v,
+// 4cl, 5cl, dia_e, dia_v, 4cyc_e, 4cyc_v).
+func Workloads() []Workload {
+	mk := func(p pattern.Pattern, induced bool) Workload {
+		s, err := pattern.BuildWith(p, pattern.BuildOptions{Induced: induced})
+		if err != nil {
+			panic(fmt.Sprintf("datasets: %v", err))
+		}
+		return Workload{Name: s.Name, Schedule: s}
+	}
+	return []Workload{
+		mk(pattern.Triangle(), false),
+		mk(pattern.TailedTriangle(), false),
+		mk(pattern.TailedTriangle(), true),
+		mk(pattern.FourClique(), false),
+		mk(pattern.FiveClique(), false),
+		mk(pattern.Diamond(), false),
+		mk(pattern.Diamond(), true),
+		mk(pattern.FourCycle(), false),
+		mk(pattern.FourCycle(), true),
+	}
+}

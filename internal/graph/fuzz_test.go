@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the text parser: arbitrary input must either
+// parse into a graph satisfying the CSR invariants or return an error —
+// never panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Add("999999999999999999 0\n")
+	f.Add("a b\n0 1")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed graphs must round-trip and keep invariants.
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write failed on parsed graph: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g.NumVertices(), g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			nb := g.Neighbors(VertexID(v))
+			for i := 1; i < len(nb); i++ {
+				if nb[i] <= nb[i-1] {
+					t.Fatal("neighbor list not strictly sorted")
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary decoder against corrupt inputs.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = MustNew(4, []Edge{{0, 1}, {1, 2}}).WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded graphs must be internally consistent.
+		for v := 0; v < g.NumVertices(); v++ {
+			_ = g.Degree(VertexID(v))
+		}
+		_ = g.NumEdges()
+	})
+}

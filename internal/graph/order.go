@@ -1,0 +1,135 @@
+package graph
+
+import "container/heap"
+
+// Degeneracy computes the graph's degeneracy (the smallest d such that
+// every subgraph has a vertex of degree ≤ d) and a degeneracy ordering:
+// repeatedly removing a minimum-degree vertex. Mining systems orient
+// edges along this ordering to bound candidate-set sizes — a k-clique's
+// candidates under degeneracy orientation never exceed the degeneracy,
+// which is typically far below the maximum degree on social graphs.
+func (g *Graph) Degeneracy() (degeneracy int, order []VertexID) {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	h := &vertexHeap{}
+	pos := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(VertexID(v))
+	}
+	h.items = make([]heapItem, n)
+	for v := 0; v < n; v++ {
+		h.items[v] = heapItem{v: VertexID(v), key: deg[v]}
+		pos[v] = v
+	}
+	h.pos = pos
+	heap.Init(h)
+
+	order = make([]VertexID, 0, n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		v := it.v
+		if it.key > degeneracy {
+			degeneracy = it.key
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, u := range g.Neighbors(v) {
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			h.decrease(u, deg[u])
+		}
+	}
+	return degeneracy, order
+}
+
+// OrientByDegeneracy returns a copy of the graph relabeled so the
+// degeneracy ordering becomes ascending vertex ids. Under the mining
+// schedules' "later < earlier" symmetry breaking this concentrates work
+// on small candidate sets.
+func (g *Graph) OrientByDegeneracy() (*Graph, error) {
+	_, order := g.Degeneracy()
+	return g.Relabel(order)
+}
+
+// CoreNumbers computes the k-core number of every vertex (the largest k
+// such that the vertex belongs to a subgraph of minimum degree k).
+func (g *Graph) CoreNumbers() []int {
+	n := g.NumVertices()
+	core := make([]int, n)
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	h := &vertexHeap{}
+	pos := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(VertexID(v))
+	}
+	h.items = make([]heapItem, n)
+	for v := 0; v < n; v++ {
+		h.items[v] = heapItem{v: VertexID(v), key: deg[v]}
+		pos[v] = v
+	}
+	h.pos = pos
+	heap.Init(h)
+
+	maxSeen := 0
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if it.key > maxSeen {
+			maxSeen = it.key
+		}
+		core[it.v] = maxSeen
+		removed[it.v] = true
+		for _, u := range g.Neighbors(it.v) {
+			if removed[u] {
+				continue
+			}
+			deg[u]--
+			h.decrease(u, deg[u])
+		}
+	}
+	return core
+}
+
+type heapItem struct {
+	v   VertexID
+	key int
+}
+
+// vertexHeap is a min-heap with position tracking for decrease-key.
+type vertexHeap struct {
+	items []heapItem
+	pos   []int // vertex -> index in items; -1 when popped
+}
+
+func (h *vertexHeap) Len() int           { return len(h.items) }
+func (h *vertexHeap) Less(i, j int) bool { return h.items[i].key < h.items[j].key }
+func (h *vertexHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].v] = i
+	h.pos[h.items[j].v] = j
+}
+func (h *vertexHeap) Push(x interface{}) {
+	it := x.(heapItem)
+	h.pos[it.v] = len(h.items)
+	h.items = append(h.items, it)
+}
+func (h *vertexHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	h.pos[it.v] = -1
+	return it
+}
+
+func (h *vertexHeap) decrease(v VertexID, key int) {
+	i := h.pos[v]
+	if i < 0 || h.items[i].key == key {
+		return
+	}
+	h.items[i].key = key
+	heap.Fix(h, i)
+}

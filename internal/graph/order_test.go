@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegeneracyKnownGraphs(t *testing.T) {
+	// Complete graph K5: degeneracy 4.
+	var edges []Edge
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, Edge{VertexID(i), VertexID(j)})
+		}
+	}
+	k5 := MustNew(5, edges)
+	if d, order := k5.Degeneracy(); d != 4 || len(order) != 5 {
+		t.Errorf("K5 degeneracy = %d (order %v)", d, order)
+	}
+	// A tree: degeneracy 1.
+	tree := MustNew(6, []Edge{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}})
+	if d, _ := tree.Degeneracy(); d != 1 {
+		t.Errorf("tree degeneracy = %d", d)
+	}
+	// A cycle: degeneracy 2.
+	cyc := MustNew(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if d, _ := cyc.Degeneracy(); d != 2 {
+		t.Errorf("cycle degeneracy = %d", d)
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	// K4 with a pendant vertex: K4 members have core 3, the pendant 1.
+	g := MustNew(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	core := g.CoreNumbers()
+	for v := 0; v < 4; v++ {
+		if core[v] != 3 {
+			t.Errorf("core[%d] = %d, want 3", v, core[v])
+		}
+	}
+	if core[4] != 1 {
+		t.Errorf("pendant core = %d, want 1", core[4])
+	}
+}
+
+// Property: the degeneracy ordering certificate holds — each vertex has
+// at most `degeneracy` neighbors later in the order; and max core number
+// equals the degeneracy.
+func TestDegeneracyCertificateProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%80) + 5
+		m := int(mRaw % 400)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))}
+		}
+		g := MustNew(n, edges)
+		d, order := g.Degeneracy()
+		rank := make([]int, n)
+		for i, v := range order {
+			rank[v] = i
+		}
+		for _, v := range order {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if rank[u] > rank[v] {
+					later++
+				}
+			}
+			if later > d {
+				return false
+			}
+		}
+		maxCore := 0
+		for _, c := range g.CoreNumbers() {
+			if c > maxCore {
+				maxCore = c
+			}
+		}
+		return maxCore == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientByDegeneracyPreservesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := make([]Edge, 200)
+	for i := range edges {
+		edges[i] = Edge{VertexID(rng.Intn(60)), VertexID(rng.Intn(60))}
+	}
+	g := MustNew(60, edges)
+	h, err := g.OrientByDegeneracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d != %d", h.NumEdges(), g.NumEdges())
+	}
+	dg, _ := g.Degeneracy()
+	dh, _ := h.Degeneracy()
+	if dg != dh {
+		t.Fatalf("degeneracy changed by relabel: %d != %d", dg, dh)
+	}
+}

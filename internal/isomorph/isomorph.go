@@ -1,0 +1,162 @@
+// Package isomorph implements an independent subgraph-isomorphism
+// counter in the VF2 style: backtracking over pattern vertices in a
+// connectivity order, extending only through graph neighbors of already-
+// matched vertices, with degree-based candidate pruning.
+//
+// It shares no code with internal/mine's schedule-driven miner or its
+// naive enumerator, making it a genuinely independent oracle for
+// cross-validation: three implementations must agree on every count.
+package isomorph
+
+import (
+	"fmt"
+
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+// Count returns the number of unique subgraphs of g isomorphic to p
+// (vertex-induced if induced is true), i.e. the number of satisfying
+// injective mappings divided by |Aut(p)|.
+func Count(g *graph.Graph, p pattern.Pattern, induced bool) (int64, error) {
+	n := p.N()
+	if n == 0 {
+		return 0, fmt.Errorf("isomorph: empty pattern")
+	}
+	if !p.Connected() {
+		return 0, fmt.Errorf("isomorph: pattern %s is disconnected", p.Name())
+	}
+	order, parents := matchOrder(p)
+	degs := make([]int, n)
+	for i := 0; i < n; i++ {
+		degs[i] = p.Degree(i)
+	}
+
+	assigned := make([]graph.VertexID, n)
+	used := map[graph.VertexID]bool{}
+	var mappings int64
+
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			mappings++
+			return
+		}
+		pv := order[pos]
+		// Candidates: graph neighbors of the matched parent (pattern
+		// vertex parents[pos] is adjacent to pv and already matched).
+		anchor := assigned[indexOf(order, parents[pos])]
+		for _, cand := range g.Neighbors(anchor) {
+			if used[cand] {
+				continue
+			}
+			if g.Degree(cand) < degs[pv] {
+				continue // degree filter
+			}
+			if !consistent(g, p, order, assigned, pos, cand, induced) {
+				continue
+			}
+			assigned[indexOf(order, pv)] = cand
+			used[cand] = true
+			rec(pos + 1)
+			used[cand] = false
+		}
+	}
+
+	// Roots: every graph vertex with sufficient degree.
+	rootPV := order[0]
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := graph.VertexID(v)
+		if g.Degree(vid) < degs[rootPV] {
+			continue
+		}
+		assigned[0] = vid
+		used[vid] = true
+		rec(1)
+		used[vid] = false
+	}
+
+	auts := int64(len(p.Automorphisms()))
+	if mappings%auts != 0 {
+		return 0, fmt.Errorf("isomorph: %d mappings not divisible by |Aut|=%d", mappings, auts)
+	}
+	return mappings / auts, nil
+}
+
+// consistent checks candidate cand for pattern vertex order[pos] against
+// all previously matched pattern vertices.
+func consistent(g *graph.Graph, p pattern.Pattern, order []int, assigned []graph.VertexID, pos int, cand graph.VertexID, induced bool) bool {
+	pv := order[pos]
+	for prev := 0; prev < pos; prev++ {
+		pu := order[prev]
+		gu := assigned[prev]
+		pe := p.HasEdge(pu, pv)
+		ge := g.HasEdge(gu, cand)
+		if pe && !ge {
+			return false
+		}
+		if induced && !pe && ge {
+			return false
+		}
+	}
+	return true
+}
+
+// matchOrder returns a connectivity order (every vertex after the first
+// has a pattern neighbor earlier in the order) and, per position, the
+// earlier pattern vertex used as the expansion anchor.
+func matchOrder(p pattern.Pattern) (order []int, parents []int) {
+	n := p.N()
+	order = make([]int, 0, n)
+	parents = make([]int, n)
+	inOrder := make([]bool, n)
+
+	// Start from a max-degree vertex.
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	order = append(order, start)
+	inOrder[start] = true
+	parents[0] = -1
+
+	for len(order) < n {
+		bestV, bestAnchor, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			anchor := -1
+			for _, u := range order {
+				if p.HasEdge(u, v) {
+					anchor = u
+					break
+				}
+			}
+			if anchor < 0 {
+				continue
+			}
+			if d := p.Degree(v); d > bestDeg {
+				bestV, bestAnchor, bestDeg = v, anchor, d
+			}
+		}
+		if bestV < 0 {
+			break // disconnected; caller validated already
+		}
+		parents[len(order)] = bestAnchor
+		order = append(order, bestV)
+		inOrder[bestV] = true
+	}
+	return order, parents
+}
+
+func indexOf(order []int, v int) int {
+	for i, x := range order {
+		if x == v {
+			return i
+		}
+	}
+	panic("isomorph: vertex not in order")
+}

@@ -1,0 +1,79 @@
+package isomorph_test
+
+import (
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/isomorph"
+	"shogun/internal/mine"
+	"shogun/internal/pattern"
+)
+
+// TestThreeWayAgreement cross-validates three independent
+// implementations: the VF2-style matcher here, the schedule-driven miner,
+// and the naive enumerator. All three must agree on every count.
+func TestThreeWayAgreement(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er":   gen.ErdosRenyi(60, 240, 1),
+		"rmat": gen.RMAT(64, 300, 0.6, 0.15, 0.15, 2),
+		"plc":  gen.PowerLawCluster(50, 4, 0.6, 3),
+		"k9":   gen.Clique(9),
+		"grid": gen.Grid(5, 5),
+	}
+	patterns := []pattern.Pattern{
+		pattern.Triangle(), pattern.FourClique(), pattern.TailedTriangle(),
+		pattern.Diamond(), pattern.FourCycle(), pattern.House(),
+	}
+	for gname, g := range graphs {
+		for _, p := range patterns {
+			for _, induced := range []bool{false, true} {
+				vf2, err := isomorph.Count(g, p, induced)
+				if err != nil {
+					t.Fatalf("%s/%s: vf2: %v", gname, p.Name(), err)
+				}
+				miner, err := mine.CountPattern(g, p, induced)
+				if err != nil {
+					t.Fatalf("%s/%s: miner: %v", gname, p.Name(), err)
+				}
+				naive, err := mine.BruteForceCount(g, p, induced)
+				if err != nil {
+					t.Fatalf("%s/%s: naive: %v", gname, p.Name(), err)
+				}
+				if vf2 != miner || vf2 != naive {
+					t.Errorf("%s/%s induced=%v: vf2=%d miner=%d naive=%d",
+						gname, p.Name(), induced, vf2, miner, naive)
+				}
+			}
+		}
+	}
+}
+
+// TestLargerScaleAgreement drops the naive oracle (too slow) and checks
+// vf2 vs the miner at a size where schedule bugs would surface.
+func TestLargerScaleAgreement(t *testing.T) {
+	g := gen.RMAT(512, 3000, 0.6, 0.15, 0.15, 7)
+	for _, p := range []pattern.Pattern{pattern.Triangle(), pattern.Diamond(), pattern.FourCycle()} {
+		for _, induced := range []bool{false, true} {
+			vf2, err := isomorph.Count(g, p, induced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			miner, err := mine.CountPattern(g, p, induced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vf2 != miner {
+				t.Errorf("%s induced=%v: vf2=%d miner=%d", p.Name(), induced, vf2, miner)
+			}
+		}
+	}
+}
+
+func TestRejectsDegenerate(t *testing.T) {
+	g := gen.Clique(4)
+	disc, _ := pattern.NewPattern("cc", 4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := isomorph.Count(g, disc, false); err == nil {
+		t.Error("disconnected pattern accepted")
+	}
+}

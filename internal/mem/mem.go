@@ -1,0 +1,308 @@
+// Package mem models the accelerator's memory system (§3.1 of the paper):
+// per-PE scratchpads and private L1 caches, a shared L2, a DDR4-like DRAM
+// behind it, and the NoC connecting PEs to the L2 and to each other.
+//
+// Caches are functional (real tags, real LRU state) with timing: an access
+// returns its completion time, including queueing delay at DRAM channels
+// and NoC links. Graph CSR data is cached only in L2 (streaming access
+// pattern); intermediate results live in L1 and spill to L2, matching the
+// paper's memory-system description.
+package mem
+
+import (
+	"fmt"
+
+	"shogun/internal/sim"
+)
+
+// LineBytes is the cache line size used throughout (Table 3).
+const LineBytes = 64
+
+// LineShift converts byte addresses to line addresses.
+const LineShift = 6
+
+// Level is one level of the memory hierarchy; Access returns the time the
+// requested line is available (read) or accepted (write).
+type Level interface {
+	Access(now sim.Time, addr int64, write bool) sim.Time
+}
+
+// AccessRange issues one access per line of [addr, addr+bytes) at the same
+// time and returns the last completion — modeling the parallel line
+// fetches a PE's dispatch unit issues for one vertex set.
+func AccessRange(l Level, now sim.Time, addr int64, bytes int64, write bool) sim.Time {
+	if bytes <= 0 {
+		return now
+	}
+	first := addr >> LineShift
+	last := (addr + bytes - 1) >> LineShift
+	done := now
+	for line := first; line <= last; line++ {
+		if d := l.Access(now, line<<LineShift, write); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// DRAMConfig describes the DDR4-like main memory model. The defaults
+// approximate DDR4-3200 over 4 channels at a 1 GHz accelerator clock, the
+// Ramulator configuration in Table 3.
+type DRAMConfig struct {
+	Channels     int
+	BanksPerChan int
+	// RowLines is the row-buffer size in cache lines.
+	RowLines int64
+	// RowHitLat / RowMissLat are access latencies (cycles) on a row
+	// buffer hit / miss, excluding queueing.
+	RowHitLat  sim.Time
+	RowMissLat sim.Time
+	// BurstCycles is the channel occupancy per line transfer; it bounds
+	// per-channel bandwidth.
+	BurstCycles sim.Time
+}
+
+// DefaultDRAMConfig returns the Table 3 approximation.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Channels:     4,
+		BanksPerChan: 16,
+		RowLines:     32, // 2 KB rows
+		RowHitLat:    22,
+		RowMissLat:   48,
+		BurstCycles:  4,
+	}
+}
+
+// DRAM is the bottom memory level.
+type DRAM struct {
+	cfg      DRAMConfig
+	channels []*sim.Pool
+	lastRow  [][]int64
+
+	Reads     sim.Counter
+	Writes    sim.Counter
+	RowHits   sim.Counter
+	RowMisses sim.Counter
+	Latency   sim.WindowStat
+}
+
+// NewDRAM builds a DRAM model.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	d := &DRAM{cfg: cfg}
+	d.channels = make([]*sim.Pool, cfg.Channels)
+	d.lastRow = make([][]int64, cfg.Channels)
+	for i := range d.channels {
+		d.channels[i] = sim.NewPool(fmt.Sprintf("dram-ch%d", i), 1)
+		d.lastRow[i] = make([]int64, cfg.BanksPerChan)
+		for b := range d.lastRow[i] {
+			d.lastRow[i][b] = -1
+		}
+	}
+	return d
+}
+
+// Access serves one line.
+func (d *DRAM) Access(now sim.Time, addr int64, write bool) sim.Time {
+	line := addr >> LineShift
+	ch := int(line) & (d.cfg.Channels - 1)
+	if d.cfg.Channels&(d.cfg.Channels-1) != 0 {
+		ch = int(line % int64(d.cfg.Channels))
+	}
+	bank := int((line / int64(d.cfg.Channels)) % int64(d.cfg.BanksPerChan))
+	row := line / (int64(d.cfg.Channels) * d.cfg.RowLines)
+
+	lat := d.cfg.RowMissLat
+	if d.lastRow[ch][bank] == row {
+		lat = d.cfg.RowHitLat
+		d.RowHits.Inc(1)
+	} else {
+		d.lastRow[ch][bank] = row
+		d.RowMisses.Inc(1)
+	}
+	start := d.channels[ch].Acquire(now, d.cfg.BurstCycles)
+	done := start + lat + d.cfg.BurstCycles
+	if write {
+		d.Writes.Inc(1)
+	} else {
+		d.Reads.Inc(1)
+	}
+	d.Latency.Add(done - now)
+	return done
+}
+
+// BusyCycles reports total channel busy cycles (bandwidth consumption).
+func (d *DRAM) BusyCycles() sim.Time {
+	var b sim.Time
+	for _, c := range d.channels {
+		b += c.Busy()
+	}
+	return b
+}
+
+// BandwidthUtilization reports channel occupancy over elapsed cycles.
+func (d *DRAM) BandwidthUtilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.BusyCycles()) / (float64(elapsed) * float64(d.cfg.Channels))
+}
+
+// CacheConfig describes a set-associative cache.
+type CacheConfig struct {
+	Name   string
+	SizeKB int
+	Ways   int
+	HitLat sim.Time
+	// WriteAllocNoFetch treats write misses as full-line allocations
+	// without fetching from the parent (correct for freshly produced
+	// intermediate sets, which are always written whole).
+	WriteAllocNoFetch bool
+	// MSHRs bounds outstanding misses (miss-level parallelism). Zero
+	// means unbounded. Under cache thrashing a bounded MSHR file is what
+	// turns a low hit rate into a steep performance loss — the
+	// mechanism behind the paper's Fig. 3(b)/Fig. 14.
+	MSHRs int
+}
+
+// Cache is a set-associative write-back cache with LRU replacement.
+type Cache struct {
+	cfg    CacheConfig
+	sets   int
+	tags   []int64 // sets*ways; -1 = invalid
+	stamps []int64 // LRU timestamps
+	dirty  []bool
+	clock  int64
+	parent Level
+	mshrs  *sim.Pool
+
+	Hits       sim.Counter
+	Misses     sim.Counter
+	Writebacks sim.Counter
+	Latency    sim.WindowStat
+}
+
+// NewCache builds a cache in front of parent. The line count
+// (SizeKB*1024/64) must be divisible by Ways into a power-of-two set
+// count.
+func NewCache(cfg CacheConfig, parent Level) (*Cache, error) {
+	lines := cfg.SizeKB * 1024 / LineBytes
+	if cfg.Ways <= 0 || lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("mem: cache %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways)
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: cache %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	c := &Cache{
+		cfg:    cfg,
+		sets:   sets,
+		tags:   make([]int64, lines),
+		stamps: make([]int64, lines),
+		dirty:  make([]bool, lines),
+		parent: parent,
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	if cfg.MSHRs > 0 {
+		c.mshrs = sim.NewPool(cfg.Name+"-mshr", cfg.MSHRs)
+	}
+	return c, nil
+}
+
+// MustCache is NewCache for static configurations.
+func MustCache(cfg CacheConfig, parent Level) *Cache {
+	c, err := NewCache(cfg, parent)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access serves one line read or write.
+func (c *Cache) Access(now sim.Time, addr int64, write bool) sim.Time {
+	line := addr >> LineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	c.clock++
+
+	// Hit path.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == line {
+			c.stamps[base+w] = c.clock
+			if write {
+				c.dirty[base+w] = true
+			}
+			c.Hits.Inc(1)
+			c.Latency.Add(c.cfg.HitLat)
+			return now + c.cfg.HitLat
+		}
+	}
+	c.Misses.Inc(1)
+
+	// Victim selection: invalid way first, else LRU.
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == -1 {
+			victim = base + w
+			break
+		}
+		if c.stamps[base+w] < c.stamps[victim] {
+			victim = base + w
+		}
+	}
+
+	fetchDone := now + c.cfg.HitLat
+	if !write || !c.cfg.WriteAllocNoFetch {
+		issueAt := now + c.cfg.HitLat
+		var unit int
+		if c.mshrs != nil {
+			unit, issueAt = c.mshrs.AcquireDynamic(issueAt)
+		}
+		fetchDone = c.parent.Access(issueAt, addr, false)
+		if c.mshrs != nil {
+			c.mshrs.ReleaseAt(unit, fetchDone)
+		}
+	}
+	// Dirty eviction: the writeback occupies the parent off the critical
+	// path (after the fill) but consumes real bandwidth.
+	if c.tags[victim] != -1 && c.dirty[victim] {
+		victimAddr := c.tags[victim] << LineShift
+		c.parent.Access(fetchDone, victimAddr, true)
+		c.Writebacks.Inc(1)
+	}
+	c.tags[victim] = line
+	c.stamps[victim] = c.clock
+	c.dirty[victim] = write
+
+	done := fetchDone + c.cfg.HitLat
+	c.Latency.Add(done - now)
+	return done
+}
+
+// Contains reports whether the line holding addr is resident (test hook).
+func (c *Cache) Contains(addr int64) bool {
+	line := addr >> LineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// HitRate reports the all-time hit rate.
+func (c *Cache) HitRate() float64 {
+	return sim.Ratio(c.Hits.Total, c.Hits.Total+c.Misses.Total)
+}
+
+// WindowLatency returns the average access latency over the current
+// monitoring window (the paper's thrashing signal) and rolls the window.
+func (c *Cache) WindowLatency() (avg float64, ok bool) {
+	avg, ok = c.Latency.WindowAvg()
+	c.Latency.Roll()
+	return avg, ok
+}

@@ -1,0 +1,122 @@
+package mem
+
+import (
+	"fmt"
+
+	"shogun/internal/sim"
+)
+
+// NoCConfig describes the on-chip network connecting PEs, the system
+// scheduler and the shared L2.
+type NoCConfig struct {
+	// Links is the number of concurrent transfers the fabric sustains.
+	Links int
+	// HopLat is the one-way traversal latency added to every request.
+	HopLat sim.Time
+	// FlitCycles is the link occupancy per cache line moved.
+	FlitCycles sim.Time
+}
+
+// DefaultNoCConfig matches a modest crossbar for 10-20 PEs.
+func DefaultNoCConfig() NoCConfig {
+	return NoCConfig{Links: 8, HopLat: 4, FlitCycles: 1}
+}
+
+// NoC models the interconnect as a link pool: requests acquire a link for
+// their payload duration and pay a fixed hop latency.
+type NoC struct {
+	cfg   NoCConfig
+	links *sim.Pool
+
+	LinesMoved sim.Counter
+	Messages   sim.Counter
+}
+
+// NewNoC builds the interconnect.
+func NewNoC(cfg NoCConfig) *NoC {
+	return &NoC{cfg: cfg, links: sim.NewPool("noc", cfg.Links)}
+}
+
+// Transfer moves `lines` cache lines plus a control message across the
+// fabric, returning the delivery time. Used both for PE↔L2 traffic and
+// for PE↔PE task-tree-splitting transfers (§4.1).
+func (n *NoC) Transfer(now sim.Time, lines int64) sim.Time {
+	occ := n.cfg.FlitCycles * sim.Time(lines)
+	if occ < 1 {
+		occ = 1
+	}
+	start := n.links.Acquire(now, occ)
+	n.LinesMoved.Inc(lines)
+	n.Messages.Inc(1)
+	return start + occ + n.cfg.HopLat
+}
+
+// Utilization reports link occupancy over elapsed cycles.
+func (n *NoC) Utilization(elapsed sim.Time) float64 {
+	return n.links.Utilization(elapsed)
+}
+
+// Path wraps a memory level behind the NoC: each line access crosses the
+// fabric (request) and returns (response latency folded into HopLat on
+// both directions).
+type Path struct {
+	noc   *NoC
+	level Level
+}
+
+// NewPath returns a Level that reaches `level` through the NoC.
+func (n *NoC) NewPath(level Level) *Path {
+	return &Path{noc: n, level: level}
+}
+
+// Access crosses the NoC, accesses the wrapped level, and crosses back.
+func (p *Path) Access(now sim.Time, addr int64, write bool) sim.Time {
+	arrive := p.noc.Transfer(now, 1)
+	done := p.level.Access(arrive, addr, write)
+	return done + p.noc.cfg.HopLat
+}
+
+// AddressMap lays out the simulated physical address space. Regions are
+// disjoint so cache behaviour of graph data and intermediates never
+// aliases.
+type AddressMap struct {
+	// CSRBase is where the flat neighbor array of the graph begins.
+	CSRBase int64
+	// InterBase is where preallocated intermediate vertex sets begin.
+	InterBase int64
+	// SetStride is the byte stride between consecutive intermediate-set
+	// slots (≥ the largest possible set, rounded to lines).
+	SetStride int64
+}
+
+// NewAddressMap sizes the layout for a graph whose neighbor array has
+// csrInts entries and whose largest vertex set has maxSetInts entries.
+func NewAddressMap(csrInts int64, maxSetInts int) AddressMap {
+	stride := int64(maxSetInts) * 4
+	stride = (stride + LineBytes - 1) / LineBytes * LineBytes
+	if stride == 0 {
+		stride = LineBytes
+	}
+	csrBytes := (csrInts*4 + LineBytes - 1) / LineBytes * LineBytes
+	return AddressMap{
+		CSRBase:   1 << 20,
+		InterBase: 1<<20 + csrBytes + LineBytes,
+		SetStride: stride,
+	}
+}
+
+// CSRAddr returns the byte address of element offsetInts of the neighbor
+// array.
+func (m AddressMap) CSRAddr(offsetInts int64) int64 {
+	return m.CSRBase + offsetInts*4
+}
+
+// SetAddr returns the byte address of intermediate-set slot `slot`.
+func (m AddressMap) SetAddr(slot int) int64 {
+	return m.InterBase + int64(slot)*m.SetStride
+}
+
+// String summarizes the layout.
+func (m AddressMap) String() string {
+	return fmt.Sprintf("csr@%#x inter@%#x stride=%d", m.CSRBase, m.InterBase, m.SetStride)
+}

@@ -1,0 +1,30 @@
+package mine
+
+import (
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+)
+
+func benchMine(b *testing.B, p pattern.Pattern, workers int) {
+	g := gen.RMAT(1<<12, 25000, 0.6, 0.15, 0.15, 7)
+	s, err := pattern.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers > 1 {
+			ParallelCount(g, s, workers)
+		} else {
+			NewMiner(g, s).Run()
+		}
+	}
+}
+
+func BenchmarkMineTriangle(b *testing.B)     { benchMine(b, pattern.Triangle(), 1) }
+func BenchmarkMineFourClique(b *testing.B)   { benchMine(b, pattern.FourClique(), 1) }
+func BenchmarkMineDiamond(b *testing.B)      { benchMine(b, pattern.Diamond(), 1) }
+func BenchmarkMineTriangle4Way(b *testing.B) { benchMine(b, pattern.Triangle(), 4) }

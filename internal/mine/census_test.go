@@ -1,0 +1,171 @@
+package mine
+
+import (
+	"math/big"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+func TestCatalogSizes(t *testing.T) {
+	// Known counts of connected non-isomorphic graphs: 2 (k=3), 6 (k=4),
+	// 21 (k=5), 112 (k=6).
+	want := map[int]int{3: 2, 4: 6, 5: 21, 6: 112}
+	for k, n := range want {
+		ps, err := pattern.AllConnected(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) != n {
+			t.Errorf("catalog(%d) = %d patterns, want %d", k, len(ps), n)
+		}
+		// Pairwise non-isomorphic.
+		for i := range ps {
+			for j := i + 1; j < len(ps); j++ {
+				if pattern.Isomorphic(ps[i], ps[j]) {
+					t.Errorf("catalog(%d): %s ~ %s", k, ps[i].Name(), ps[j].Name())
+				}
+			}
+		}
+	}
+	if _, err := pattern.AllConnected(2); err == nil {
+		t.Error("catalog accepted k=2")
+	}
+}
+
+func TestCatalogNamesWellKnown(t *testing.T) {
+	ps, _ := pattern.AllConnected(4)
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"tt", "dia", "4cyc", "4cl", "path4", "star3"} {
+		if !names[want] {
+			t.Errorf("catalog(4) missing well-known name %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestCensusInvariants(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er":   gen.ErdosRenyi(40, 140, 1),
+		"plc":  gen.PowerLawCluster(40, 4, 0.6, 2),
+		"k7":   gen.Clique(7),
+		"grid": gen.Grid(4, 4),
+	}
+	for gname, g := range graphs {
+		for k := 3; k <= 4; k++ {
+			entries, err := Census(g, k, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Invariant 1: induced counts sum to the number of connected
+			// k-sets (independent ESU oracle).
+			total := ConnectedInducedTotal(entries)
+			oracle, err := CountConnectedKSets(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != oracle {
+				t.Errorf("%s k=%d: induced total %d != connected k-sets %d", gname, k, total, oracle)
+			}
+			// Invariant 2: the Möbius relation predicts every
+			// edge-induced count from the induced column.
+			pred, err := EdgeInducedFromInduced(entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, e := range entries {
+				if pred[i].Cmp(big.NewInt(e.EdgeInduced)) != 0 {
+					t.Errorf("%s k=%d %s: predicted edge-induced %v != measured %d",
+						gname, k, e.Pattern.Name(), pred[i], e.EdgeInduced)
+				}
+			}
+		}
+	}
+}
+
+func TestCensusKnownValues(t *testing.T) {
+	// K6: every connected 3-set is a triangle; C(6,3)=20.
+	k6 := gen.Clique(6)
+	entries, err := Census(k6, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch e.Pattern.Name() {
+		case "tc":
+			if e.Induced != 20 || e.EdgeInduced != 20 {
+				t.Errorf("K6 triangles: %+v", e)
+			}
+		case "path3":
+			if e.Induced != 0 {
+				t.Errorf("K6 induced paths: %d", e.Induced)
+			}
+			if e.EdgeInduced != 60 { // 3 per triangle
+				t.Errorf("K6 edge-induced paths: %d", e.EdgeInduced)
+			}
+		}
+	}
+	// Grid 3x3: triangle-free; connected 3-sets are all paths.
+	grid := gen.Grid(3, 3)
+	entries, err = Census(grid, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Pattern.Name() == "tc" && e.Induced != 0 {
+			t.Errorf("grid triangles: %d", e.Induced)
+		}
+		if e.Pattern.Name() == "path3" && e.Induced == 0 {
+			t.Error("grid has no paths?")
+		}
+	}
+}
+
+// TestIEPMatchesDirectCensus: induced counts derived by inclusion-
+// exclusion from edge-induced counts must match direct induced mining.
+func TestIEPMatchesDirectCensus(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er":  gen.ErdosRenyi(40, 150, 9),
+		"plc": gen.PowerLawCluster(40, 4, 0.7, 8),
+		"k7":  gen.Clique(7),
+	}
+	for gname, g := range graphs {
+		for k := 3; k <= 4; k++ {
+			direct, err := Census(g, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iep, err := CensusViaIEP(g, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range direct {
+				if direct[i].Induced != iep[i].Induced || direct[i].EdgeInduced != iep[i].EdgeInduced {
+					t.Errorf("%s k=%d %s: direct (%d,%d) != IEP (%d,%d)",
+						gname, k, direct[i].Pattern.Name(),
+						direct[i].Induced, direct[i].EdgeInduced,
+						iep[i].Induced, iep[i].EdgeInduced)
+				}
+			}
+		}
+	}
+}
+
+func TestIEPInputValidation(t *testing.T) {
+	ps, _ := pattern.AllConnected(3)
+	if _, err := InducedFromEdgeInduced(ps, []int64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := InducedFromEdgeInduced(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Wrong order must be rejected.
+	rev := []pattern.Pattern{ps[1], ps[0]}
+	if _, err := InducedFromEdgeInduced(rev, []int64{0, 0}); err == nil {
+		t.Error("unsorted catalog accepted")
+	}
+}

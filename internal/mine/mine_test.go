@@ -1,0 +1,227 @@
+package mine
+
+import (
+	"math/rand"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+func allPatterns() []pattern.Pattern {
+	return []pattern.Pattern{
+		pattern.Triangle(), pattern.FourClique(), pattern.FiveClique(),
+		pattern.TailedTriangle(), pattern.Diamond(), pattern.FourCycle(),
+		pattern.House(), pattern.CycleN(5), pattern.PathN(4), pattern.StarN(3),
+	}
+}
+
+// TestKnownCounts checks closed-form counts on structured graphs.
+func TestKnownCounts(t *testing.T) {
+	k6 := gen.Clique(6)
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		p       pattern.Pattern
+		induced bool
+		want    int64
+	}{
+		// C(6,k) k-cliques in K6.
+		{"K6-tc", k6, pattern.Triangle(), false, 20},
+		{"K6-4cl", k6, pattern.FourClique(), false, 15},
+		{"K6-5cl", k6, pattern.FiveClique(), false, 6},
+		// Edge-induced 4-cycles in K6: choose 4 vertices (15 ways), 3
+		// distinct 4-cycles each.
+		{"K6-4cyc_e", k6, pattern.FourCycle(), false, 45},
+		// Vertex-induced 4-cycles in K6: none (every 4 vertices form K4).
+		{"K6-4cyc_v", k6, pattern.FourCycle(), true, 0},
+		// Diamonds in K6 edge-induced: choose 4 vertices, 6 ways to drop
+		// one of the 6 edges of K4 → 15*6 = 90.
+		{"K6-dia_e", k6, pattern.Diamond(), false, 90},
+		{"K6-dia_v", k6, pattern.Diamond(), true, 0},
+		// Tailed triangles in K6 edge-induced: 4 vertices, pick the
+		// triangle (4 ways) then the tail attachment (3 ways) → 15*12.
+		{"K6-tt_e", k6, pattern.TailedTriangle(), false, 180},
+		// 4x4 grid: triangle-free, 9 unit squares + larger cycles? A
+		// 4-cycle in a grid graph must be a unit square → 9.
+		{"grid-tc", gen.Grid(4, 4), pattern.Triangle(), false, 0},
+		{"grid-4cyc_e", gen.Grid(4, 4), pattern.FourCycle(), false, 9},
+		{"grid-4cyc_v", gen.Grid(4, 4), pattern.FourCycle(), true, 9},
+	}
+	for _, c := range cases {
+		got, err := CountPattern(c.g, c.p, c.induced)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: count = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestAgainstBruteForce is the core cross-validation: the schedule-driven
+// miner must agree with naive enumeration for every pattern, both induced
+// semantics, over a spread of random graphs.
+func TestAgainstBruteForce(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er-sparse": gen.ErdosRenyi(24, 45, 1),
+		"er-dense":  gen.ErdosRenyi(16, 70, 2),
+		"rmat":      gen.RMAT(32, 100, 0.6, 0.15, 0.15, 3),
+		"ws":        gen.WattsStrogatz(20, 2, 0.3, 4),
+		"plc":       gen.PowerLawCluster(20, 3, 0.7, 5),
+		"clique":    gen.Clique(8),
+		"grid":      gen.Grid(4, 5),
+	}
+	for gname, g := range graphs {
+		for _, p := range allPatterns() {
+			for _, induced := range []bool{false, true} {
+				want, err := BruteForceCount(g, p, induced)
+				if err != nil {
+					t.Fatalf("%s/%s: brute force: %v", gname, p.Name(), err)
+				}
+				got, err := CountPattern(g, p, induced)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", gname, p.Name(), err)
+				}
+				if got != want {
+					t.Errorf("%s/%s induced=%v: miner=%d brute=%d", gname, p.Name(), induced, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomGraphsProperty fuzzes graph structure with random seeds.
+func TestRandomGraphsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	patterns := []pattern.Pattern{
+		pattern.Triangle(), pattern.FourClique(), pattern.TailedTriangle(),
+		pattern.Diamond(), pattern.FourCycle(),
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(15)
+		m := rng.Intn(n * 3)
+		g := gen.ErdosRenyi(n, m, seed*31+7)
+		for _, p := range patterns {
+			induced := seed%2 == 0
+			want, err := BruteForceCount(g, p, induced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CountPattern(g, p, induced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed=%d n=%d m=%d %s induced=%v: miner=%d brute=%d", seed, n, m, p.Name(), induced, got, want)
+			}
+		}
+	}
+}
+
+func TestExplicitOrdersAgree(t *testing.T) {
+	// Any valid connected order must give the same count.
+	g := gen.ErdosRenyi(20, 60, 9)
+	p := pattern.TailedTriangle()
+	base, err := CountPattern(g, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{{0, 1, 2, 3}, {0, 3, 1, 2}, {2, 1, 0, 3}, {1, 0, 3, 2}} {
+		s, err := pattern.BuildWith(p, pattern.BuildOptions{Order: order})
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if got := Count(g, s); got != base {
+			t.Errorf("order %v: count %d, want %d", order, got, base)
+		}
+	}
+}
+
+func TestVisitorSeesValidEmbeddings(t *testing.T) {
+	g := gen.ErdosRenyi(20, 70, 13)
+	s, err := pattern.Build(pattern.Diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMiner(g, s)
+	var count int64
+	m.SetVisitor(func(match []graph.VertexID) {
+		count++
+		// Every pattern edge must be a graph edge.
+		for u := 0; u < s.Depth(); u++ {
+			for v := u + 1; v < s.Depth(); v++ {
+				if s.Pattern.HasEdge(u, v) && !g.HasEdge(match[u], match[v]) {
+					t.Fatalf("visitor got non-embedding %v", match)
+				}
+				if match[u] == match[v] {
+					t.Fatalf("visitor got non-injective embedding %v", match)
+				}
+			}
+		}
+	})
+	res := m.Run()
+	if count != res.Embeddings {
+		t.Fatalf("visitor count %d != result %d", count, res.Embeddings)
+	}
+}
+
+func TestRunRootPartitioning(t *testing.T) {
+	// Mining per root must sum to the whole-graph count: this is the
+	// property the accelerator's root-dispatch depends on.
+	g := gen.RMAT(64, 250, 0.55, 0.17, 0.17, 21)
+	s, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := Count(g, s)
+	m := NewMiner(g, s)
+	for v := 0; v < g.NumVertices(); v++ {
+		m.RunRoot(graph.VertexID(v))
+	}
+	if got := m.Result().Embeddings; got != whole {
+		t.Fatalf("per-root sum %d != whole %d", got, whole)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := gen.Clique(10)
+	s, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewMiner(g, s).Run()
+	if res.Embeddings != 210 { // C(10,4)
+		t.Fatalf("embeddings = %d", res.Embeddings)
+	}
+	if res.TasksPerDepth[0] != 10 {
+		t.Errorf("root tasks = %d", res.TasksPerDepth[0])
+	}
+	// Depth-1 tasks: each root v spawns candidates u < v → C(10,2) total.
+	if res.TasksPerDepth[1] != 45 {
+		t.Errorf("depth-1 tasks = %d", res.TasksPerDepth[1])
+	}
+	if res.TasksPerDepth[3] != res.Embeddings {
+		t.Errorf("leaf tasks %d != embeddings %d", res.TasksPerDepth[3], res.Embeddings)
+	}
+	if res.Tasks() != 10+45+120+210 {
+		t.Errorf("total tasks = %d", res.Tasks())
+	}
+	if res.AvgIntermediateLinesPerTask() <= 0 {
+		t.Error("no intermediate line accounting")
+	}
+	if res.SetOpElements <= 0 {
+		t.Error("no set-op accounting")
+	}
+}
+
+func TestBruteForceRejectsHugeGraph(t *testing.T) {
+	g := gen.ErdosRenyi(3000, 10, 1)
+	if _, err := BruteForceCount(g, pattern.Triangle(), false); err == nil {
+		t.Fatal("brute force accepted huge graph")
+	}
+}

@@ -1,0 +1,68 @@
+package mine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+// ParallelCount mines g with `workers` goroutines (0 = GOMAXPROCS), each
+// running an independent Miner over a dynamically shared root queue, and
+// returns the merged result. Statistics are exact; per-depth slices are
+// summed across workers.
+func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return NewMiner(g, s).Run()
+	}
+
+	var cursor int64
+	const chunk = 64
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			m := NewMiner(g, s)
+			for {
+				base := atomic.AddInt64(&cursor, chunk) - chunk
+				if base >= int64(n) {
+					break
+				}
+				end := base + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for v := base; v < end; v++ {
+					m.RunRoot(graph.VertexID(v))
+				}
+			}
+			results[wk] = m.Result()
+		}(wk)
+	}
+	wg.Wait()
+
+	merged := &Result{
+		TasksPerDepth:             make([]int64, s.Depth()),
+		IntermediateLinesPerDepth: make([]int64, s.Depth()),
+	}
+	for _, r := range results {
+		merged.Embeddings += r.Embeddings
+		merged.SetOpElements += r.SetOpElements
+		for d := range r.TasksPerDepth {
+			merged.TasksPerDepth[d] += r.TasksPerDepth[d]
+			merged.IntermediateLinesPerDepth[d] += r.IntermediateLinesPerDepth[d]
+		}
+	}
+	return merged
+}

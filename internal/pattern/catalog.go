@@ -1,0 +1,140 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AllConnected enumerates all connected, non-isomorphic patterns with
+// exactly k vertices (3 ≤ k ≤ 6): the graphlet catalog used by motif
+// census workloads. Patterns are named g<k>_<i> in a deterministic order
+// (ascending edge count, then canonical code) with well-known patterns
+// keeping their standard names (tc, 4cl, ...).
+func AllConnected(k int) ([]Pattern, error) {
+	if k < 3 || k > 6 {
+		return nil, fmt.Errorf("pattern: catalog supports 3..6 vertices, got %d", k)
+	}
+	type entry struct {
+		canon string
+		edges int
+		p     Pattern
+	}
+	seen := map[string]entry{}
+	pairs := k * (k - 1) / 2
+	// Enumerate every labeled graph on k vertices by edge bitmask.
+	pairList := make([][2]int, 0, pairs)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairList = append(pairList, [2]int{i, j})
+		}
+	}
+	for mask := 0; mask < 1<<uint(pairs); mask++ {
+		var edges [][2]int
+		for b, pr := range pairList {
+			if mask&(1<<uint(b)) != 0 {
+				edges = append(edges, pr)
+			}
+		}
+		if len(edges) < k-1 {
+			continue // cannot be connected
+		}
+		p, err := NewPattern("", k, edges)
+		if err != nil {
+			return nil, err
+		}
+		if !p.Connected() {
+			continue
+		}
+		c := canonicalCode(p)
+		if _, ok := seen[c]; !ok {
+			seen[c] = entry{c, len(edges), p}
+		}
+	}
+	list := make([]entry, 0, len(seen))
+	for _, e := range seen {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].edges != list[j].edges {
+			return list[i].edges < list[j].edges
+		}
+		return list[i].canon < list[j].canon
+	})
+	out := make([]Pattern, len(list))
+	for i, e := range list {
+		name := wellKnownName(e.p)
+		if name == "" {
+			name = fmt.Sprintf("g%d_%d", k, i)
+		}
+		e.p.name = name
+		out[i] = e.p
+	}
+	return out, nil
+}
+
+// canonicalCode computes a canonical string for iso-testing by taking the
+// lexicographically smallest adjacency encoding over all permutations.
+// Patterns are ≤6 vertices, so the factorial scan is cheap.
+func canonicalCode(p Pattern) string {
+	n := p.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := ""
+	var rec func(pos int)
+	used := make([]bool, n)
+	cur := make([]int, n)
+	rec = func(pos int) {
+		if pos == n {
+			code := make([]byte, 0, n*n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if p.HasEdge(cur[i], cur[j]) {
+						code = append(code, '1')
+					} else {
+						code = append(code, '0')
+					}
+				}
+			}
+			if best == "" || string(code) < best {
+				best = string(code)
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cur[pos] = v
+			rec(pos + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return fmt.Sprintf("%d:%s", n, best)
+}
+
+// Isomorphic reports whether two patterns are isomorphic.
+func Isomorphic(a, b Pattern) bool {
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	return canonicalCode(a) == canonicalCode(b)
+}
+
+// wellKnownName maps catalog entries onto the paper's names.
+func wellKnownName(p Pattern) string {
+	known := []Pattern{
+		Triangle(), FourClique(), FiveClique(), TailedTriangle(),
+		Diamond(), FourCycle(), House(), PathN(3), PathN(4), PathN(5),
+		StarN(3), StarN(4), CycleN(5), CycleN(6),
+	}
+	for _, k := range known {
+		if Isomorphic(p, k) {
+			return k.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,48 @@
+package pattern
+
+import "testing"
+
+// FuzzParse hardens the pattern-spec parser: arbitrary specs must parse
+// or error, and parsed patterns must produce valid schedules (or a clean
+// error for disconnected ones).
+func FuzzParse(f *testing.F) {
+	f.Add("0-1,1-2,2-0")
+	f.Add("0-1")
+	f.Add("")
+	f.Add("0-0")
+	f.Add("1-2,,3-")
+	f.Add("0-1,2-3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse("fuzz", spec)
+		if err != nil {
+			return
+		}
+		if p.N() < 1 || p.N() > MaxVertices {
+			t.Fatalf("parsed pattern out of range: %d", p.N())
+		}
+		auts := p.Automorphisms()
+		if len(auts) < 1 {
+			t.Fatal("no identity automorphism")
+		}
+		if !p.Connected() {
+			if _, err := Build(p); err == nil {
+				t.Fatal("disconnected pattern got a schedule")
+			}
+			return
+		}
+		if p.N() < 2 {
+			return
+		}
+		s, err := Build(p)
+		if err != nil {
+			t.Fatalf("connected pattern rejected: %v", err)
+		}
+		fact := 1
+		for i := 2; i <= p.N(); i++ {
+			fact *= i
+		}
+		if fact%s.AutomorphismCount != 0 {
+			t.Fatalf("|Aut| = %d does not divide %d!", s.AutomorphismCount, p.N())
+		}
+	})
+}

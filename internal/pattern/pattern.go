@@ -1,0 +1,303 @@
+// Package pattern implements search patterns and pattern-aware mining
+// schedules: matching orders, automorphism-based symmetry breaking, and
+// per-depth set-operation plans with intermediate-result reuse.
+//
+// It is the stand-in for GraphPi (Shi et al., SC'20), which the paper uses
+// to generate schedules for both Shogun and the FINGERS baseline. Both
+// edge-induced ("_e") and vertex-induced ("_v") schedules are supported,
+// matching §5.1.2 of the paper.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxVertices bounds pattern size. The paper assumes a maximum search depth
+// of 6 (7-node patterns are the largest GraphPi handles); we allow 8 so the
+// generic machinery has headroom.
+const MaxVertices = 8
+
+// Pattern is a small connected undirected graph to search for. Vertices
+// are 0..N-1; adjacency is stored as bitmasks.
+type Pattern struct {
+	name string
+	n    int
+	adj  [MaxVertices]uint16
+}
+
+// NewPattern builds a pattern from an edge list over vertices [0, n).
+func NewPattern(name string, n int, edges [][2]int) (Pattern, error) {
+	var p Pattern
+	if n < 1 || n > MaxVertices {
+		return p, fmt.Errorf("pattern: size %d out of range [1,%d]", n, MaxVertices)
+	}
+	p.name = name
+	p.n = n
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return p, fmt.Errorf("pattern: edge (%d,%d) out of range", u, v)
+		}
+		if u == v {
+			return p, fmt.Errorf("pattern: self loop on %d", u)
+		}
+		p.adj[u] |= 1 << uint(v)
+		p.adj[v] |= 1 << uint(u)
+	}
+	return p, nil
+}
+
+func mustPattern(name string, n int, edges [][2]int) Pattern {
+	p, err := NewPattern(name, n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// The six patterns evaluated in the paper (§5.1.2).
+
+// Triangle returns the 3-clique pattern (tc).
+func Triangle() Pattern { return CliqueN(3) }
+
+// FourClique returns the 4-clique pattern (4cl).
+func FourClique() Pattern { return CliqueN(4) }
+
+// FiveClique returns the 5-clique pattern (5cl).
+func FiveClique() Pattern { return CliqueN(5) }
+
+// CliqueN returns the k-clique pattern.
+func CliqueN(k int) Pattern {
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	name := fmt.Sprintf("%dcl", k)
+	if k == 3 {
+		name = "tc"
+	}
+	return mustPattern(name, k, edges)
+}
+
+// TailedTriangle returns a triangle {0,1,2} with a pendant vertex 3
+// attached to vertex 0 (tt).
+func TailedTriangle() Pattern {
+	return mustPattern("tt", 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}})
+}
+
+// Diamond returns two triangles sharing an edge, i.e. K4 minus one edge
+// (dia). Vertices 0,1 form the shared edge.
+func Diamond() Pattern {
+	return mustPattern("dia", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}})
+}
+
+// FourCycle returns the 4-cycle pattern (4cyc).
+func FourCycle() Pattern {
+	return mustPattern("4cyc", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+}
+
+// House returns the 5-vertex house pattern (4-cycle with a triangle roof),
+// used by the extended examples.
+func House() Pattern {
+	return mustPattern("house", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}})
+}
+
+// StarN returns a star with k leaves.
+func StarN(k int) Pattern {
+	var edges [][2]int
+	for i := 1; i <= k; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return mustPattern(fmt.Sprintf("star%d", k), k+1, edges)
+}
+
+// PathN returns a simple path on k vertices.
+func PathN(k int) Pattern {
+	var edges [][2]int
+	for i := 0; i+1 < k; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return mustPattern(fmt.Sprintf("path%d", k), k, edges)
+}
+
+// CycleN returns a simple cycle on k vertices.
+func CycleN(k int) Pattern {
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % k})
+	}
+	name := fmt.Sprintf("%dcyc", k)
+	return mustPattern(name, k, edges)
+}
+
+// ByName resolves the paper's pattern names: tc, tt, 4cl, 5cl, dia, 4cyc
+// (optionally with _e/_v suffix, which is stripped — inducedness is a
+// schedule property, not a pattern property).
+func ByName(name string) (Pattern, error) {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, "_e"), "_v")
+	switch base {
+	case "tc", "triangle":
+		return Triangle(), nil
+	case "tt", "tailed-triangle":
+		return TailedTriangle(), nil
+	case "4cl":
+		return FourClique(), nil
+	case "5cl":
+		return FiveClique(), nil
+	case "dia", "diamond":
+		return Diamond(), nil
+	case "4cyc":
+		return FourCycle(), nil
+	case "house":
+		return House(), nil
+	default:
+		return Pattern{}, fmt.Errorf("pattern: unknown pattern %q", name)
+	}
+}
+
+// Name returns the pattern's short name.
+func (p Pattern) Name() string { return p.name }
+
+// N returns the number of pattern vertices (the search depth count).
+func (p Pattern) N() int { return p.n }
+
+// HasEdge reports whether pattern vertices u and v are adjacent.
+func (p Pattern) HasEdge(u, v int) bool { return p.adj[u]&(1<<uint(v)) != 0 }
+
+// Degree returns the degree of pattern vertex v.
+func (p Pattern) Degree(v int) int {
+	d := 0
+	for m := p.adj[v]; m != 0; m &= m - 1 {
+		d++
+	}
+	return d
+}
+
+// NumEdges returns the pattern's edge count.
+func (p Pattern) NumEdges() int {
+	total := 0
+	for v := 0; v < p.n; v++ {
+		total += p.Degree(v)
+	}
+	return total / 2
+}
+
+// Connected reports whether the pattern is connected (a requirement for
+// the mining schedules).
+func (p Pattern) Connected() bool {
+	if p.n == 0 {
+		return false
+	}
+	seen := uint16(1)
+	frontier := []int{0}
+	for len(frontier) > 0 {
+		v := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for m := p.adj[v] &^ seen; m != 0; m &= m - 1 {
+			u := trailingZeros16(m)
+			seen |= 1 << uint(u)
+			frontier = append(frontier, u)
+		}
+	}
+	return seen == (1<<uint(p.n))-1
+}
+
+// Relabel returns the pattern with vertex order[i] renamed to i.
+func (p Pattern) Relabel(order []int) (Pattern, error) {
+	if len(order) != p.n {
+		return Pattern{}, fmt.Errorf("pattern: relabel order length %d != %d", len(order), p.n)
+	}
+	inv := make([]int, p.n)
+	seen := make([]bool, p.n)
+	for newID, oldID := range order {
+		if oldID < 0 || oldID >= p.n || seen[oldID] {
+			return Pattern{}, fmt.Errorf("pattern: relabel order is not a permutation")
+		}
+		seen[oldID] = true
+		inv[oldID] = newID
+	}
+	var edges [][2]int
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.HasEdge(u, v) {
+				edges = append(edges, [2]int{inv[u], inv[v]})
+			}
+		}
+	}
+	return NewPattern(p.name, p.n, edges)
+}
+
+// String renders the pattern as name(n; edge list).
+func (p Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(n=%d;", p.name, p.n)
+	first := true
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.HasEdge(u, v) {
+				if !first {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, " %d-%d", u, v)
+				first = false
+			}
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Automorphisms enumerates all adjacency-preserving vertex permutations of
+// p, including the identity. Patterns are tiny (≤8 vertices) so brute
+// force is exact and fast.
+func (p Pattern) Automorphisms() [][]int {
+	perm := make([]int, p.n)
+	used := make([]bool, p.n)
+	var out [][]int
+	degs := make([]int, p.n)
+	for v := range degs {
+		degs[v] = p.Degree(v)
+	}
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == p.n {
+			cp := make([]int, p.n)
+			copy(cp, perm)
+			out = append(out, cp)
+			return
+		}
+		for cand := 0; cand < p.n; cand++ {
+			if used[cand] || degs[cand] != degs[pos] {
+				continue
+			}
+			ok := true
+			for prev := 0; prev < pos; prev++ {
+				if p.HasEdge(pos, prev) != p.HasEdge(cand, perm[prev]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[cand] = true
+			perm[pos] = cand
+			rec(pos + 1)
+			used[cand] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+func trailingZeros16(m uint16) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}

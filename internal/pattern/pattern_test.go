@@ -1,0 +1,280 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamedPatternShapes(t *testing.T) {
+	cases := []struct {
+		p           Pattern
+		n, edges    int
+		autCount    int
+		connected   bool
+		hasVVariant bool
+	}{
+		{Triangle(), 3, 3, 6, true, false},
+		{FourClique(), 4, 6, 24, true, false},
+		{FiveClique(), 5, 10, 120, true, false},
+		{TailedTriangle(), 4, 4, 2, true, true},
+		{Diamond(), 4, 5, 4, true, true},
+		{FourCycle(), 4, 4, 8, true, true},
+		{House(), 5, 6, 2, true, true},
+		{StarN(3), 4, 3, 6, true, true},
+		{PathN(4), 4, 3, 2, true, true},
+		{CycleN(5), 5, 5, 10, true, true},
+	}
+	for _, c := range cases {
+		if c.p.N() != c.n {
+			t.Errorf("%s: N = %d, want %d", c.p.Name(), c.p.N(), c.n)
+		}
+		if c.p.NumEdges() != c.edges {
+			t.Errorf("%s: edges = %d, want %d", c.p.Name(), c.p.NumEdges(), c.edges)
+		}
+		if got := len(c.p.Automorphisms()); got != c.autCount {
+			t.Errorf("%s: |Aut| = %d, want %d", c.p.Name(), got, c.autCount)
+		}
+		if c.p.Connected() != c.connected {
+			t.Errorf("%s: Connected = %v", c.p.Name(), c.p.Connected())
+		}
+		if hasInducedVariant(c.p) != c.hasVVariant {
+			t.Errorf("%s: hasInducedVariant = %v, want %v", c.p.Name(), hasInducedVariant(c.p), c.hasVVariant)
+		}
+	}
+}
+
+func TestNewPatternValidation(t *testing.T) {
+	if _, err := NewPattern("bad", 0, nil); err == nil {
+		t.Error("accepted empty pattern")
+	}
+	if _, err := NewPattern("bad", 9, nil); err == nil {
+		t.Error("accepted oversized pattern")
+	}
+	if _, err := NewPattern("bad", 2, [][2]int{{0, 2}}); err == nil {
+		t.Error("accepted out-of-range edge")
+	}
+	if _, err := NewPattern("bad", 2, [][2]int{{1, 1}}); err == nil {
+		t.Error("accepted self loop")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"tc", "tt", "tt_e", "tt_v", "4cl", "5cl", "dia", "dia_e", "4cyc_v", "house"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("ByName accepted nonsense")
+	}
+}
+
+func TestAutomorphismsAreAutomorphisms(t *testing.T) {
+	for _, p := range []Pattern{Diamond(), FourCycle(), House(), TailedTriangle()} {
+		for _, a := range p.Automorphisms() {
+			for u := 0; u < p.N(); u++ {
+				for v := u + 1; v < p.N(); v++ {
+					if p.HasEdge(u, v) != p.HasEdge(a[u], a[v]) {
+						t.Fatalf("%s: %v is not an automorphism", p.Name(), a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDisconnectedPatternRejected(t *testing.T) {
+	p, err := NewPattern("two-edges", 4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Connected() {
+		t.Fatal("disconnected pattern reported connected")
+	}
+	if _, err := Build(p); err == nil {
+		t.Fatal("Build accepted disconnected pattern")
+	}
+}
+
+func TestBuildCliqueSchedule(t *testing.T) {
+	s, err := Build(FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 4 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+	if s.AutomorphismCount != 24 {
+		t.Fatalf("|Aut| = %d", s.AutomorphismCount)
+	}
+	// Clique schedule: C1 = N(v0); Cd = C(d-1) ∩ N(v_{d-1}); total order
+	// restriction chain.
+	if s.Plans[1].Base.Kind != RefNeighbor || s.Plans[1].Base.Pos != 0 || len(s.Plans[1].Steps) != 0 {
+		t.Errorf("C1 plan = %+v", s.Plans[1])
+	}
+	for d := 2; d < 4; d++ {
+		p := s.Plans[d]
+		if p.Base.Kind != RefStored || p.Base.Pos != d-1 {
+			t.Errorf("C%d base = %+v, want stored C%d", d, p.Base, d-1)
+		}
+		if len(p.Steps) != 1 || p.Steps[0].Sub || p.Steps[0].Ref.Kind != RefNeighbor || p.Steps[0].Ref.Pos != d-1 {
+			t.Errorf("C%d steps = %+v", d, p.Steps)
+		}
+		if len(p.BoundBy) == 0 {
+			t.Errorf("C%d has no symmetry bound", d)
+		}
+	}
+	// 3 + 2 + 1 restrictions for a total order on 4 vertices.
+	if len(s.Restrictions) != 6 {
+		t.Errorf("restrictions = %v", s.Restrictions)
+	}
+	if !s.Stored[1] || !s.Stored[2] {
+		t.Errorf("stored flags = %v", s.Stored)
+	}
+	if s.Stored[3] {
+		t.Error("last position marked stored")
+	}
+}
+
+func TestBuildDiamondReusesSet(t *testing.T) {
+	s, err := Build(Diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diamond: C3 must alias C2 (two apex vertices drawn from the same
+	// candidate set) with a v3<v2 restriction.
+	p3 := s.Plans[3]
+	if p3.Base.Kind != RefStored || p3.Base.Pos != 2 || len(p3.Steps) != 0 {
+		t.Fatalf("diamond C3 plan = base %v steps %v, want alias of C2", p3.Base, p3.Steps)
+	}
+	found := false
+	for _, a := range p3.BoundBy {
+		if a == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diamond C3 lacks v3<v2 bound: %+v", p3)
+	}
+}
+
+func TestBuildInducedAddsSubtractions(t *testing.T) {
+	sE, err := Build(Diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sV, err := BuildWith(Diamond(), BuildOptions{Induced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := func(s *Schedule) int {
+		n := 0
+		for _, p := range s.Plans {
+			for _, op := range p.Steps {
+				if op.Sub {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if subs(sE) != 0 {
+		t.Errorf("edge-induced diamond has %d subtractions", subs(sE))
+	}
+	if subs(sV) == 0 {
+		t.Error("vertex-induced diamond has no subtractions")
+	}
+	if !strings.HasSuffix(sV.Name, "_v") || !strings.HasSuffix(sE.Name, "_e") {
+		t.Errorf("names = %q, %q", sV.Name, sE.Name)
+	}
+	// Cliques have no non-edges: no _e/_v suffix.
+	sc, _ := Build(Triangle())
+	if sc.Name != "tc" {
+		t.Errorf("triangle schedule name = %q", sc.Name)
+	}
+}
+
+func TestBuildWithExplicitOrder(t *testing.T) {
+	// Force the tail of the tailed triangle to be matched second.
+	p := TailedTriangle()
+	s, err := BuildWith(p, BuildOptions{Order: []int{0, 3, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 4 {
+		t.Fatal("bad depth")
+	}
+	// An order whose second vertex is disconnected must be rejected.
+	if _, err := BuildWith(p, BuildOptions{Order: []int{1, 3, 0, 2}}); err == nil {
+		t.Error("accepted disconnected order (vertex 3 not adjacent to 1)")
+	}
+	if _, err := BuildWith(p, BuildOptions{Order: []int{0, 0, 1, 2}}); err == nil {
+		t.Error("accepted non-permutation order")
+	}
+}
+
+func TestEveryPlanConnected(t *testing.T) {
+	for _, p := range []Pattern{Triangle(), FourClique(), FiveClique(), TailedTriangle(), Diamond(), FourCycle(), House(), CycleN(5), PathN(5), StarN(4)} {
+		for _, induced := range []bool{false, true} {
+			s, err := BuildWith(p, BuildOptions{Induced: induced})
+			if err != nil {
+				t.Fatalf("%s induced=%v: %v", p.Name(), induced, err)
+			}
+			for d := 1; d < s.Depth(); d++ {
+				plan := s.Plans[d]
+				if plan.Base.Kind == RefStored && (plan.Base.Pos < 1 || plan.Base.Pos >= d) {
+					t.Errorf("%s: C%d stored base out of range: %d", s.Name, d, plan.Base.Pos)
+				}
+				if plan.Base.Kind == RefStored && !s.Stored[plan.Base.Pos] {
+					t.Errorf("%s: C%d references unstored C%d", s.Name, d, plan.Base.Pos)
+				}
+				for _, op := range plan.Steps {
+					if op.Ref.Kind == RefNeighbor && (op.Ref.Pos < 0 || op.Ref.Pos >= d) {
+						t.Errorf("%s: C%d step references future position %d", s.Name, d, op.Ref.Pos)
+					}
+				}
+				for _, a := range plan.BoundBy {
+					if a < 0 || a >= d {
+						t.Errorf("%s: C%d bound by future position %d", s.Name, d, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s, _ := Build(FourClique())
+	str := s.String()
+	for _, want := range []string{"4cl", "C1", "C3", "∩", "stored"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("schedule string missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestRestrictionCountMatchesGroupOrder(t *testing.T) {
+	// The product over chain steps of orbit sizes must equal |Aut|.
+	for _, p := range []Pattern{Triangle(), FourClique(), Diamond(), FourCycle(), TailedTriangle(), House(), CycleN(5), CycleN(6)} {
+		auts := p.Automorphisms()
+		group := auts
+		product := 1
+		for i := 0; i < p.N(); i++ {
+			orbit := map[int]bool{}
+			for _, a := range group {
+				orbit[a[i]] = true
+			}
+			product *= len(orbit)
+			var next [][]int
+			for _, a := range group {
+				if a[i] == i {
+					next = append(next, a)
+				}
+			}
+			group = next
+		}
+		if product != len(auts) {
+			t.Errorf("%s: orbit-size product %d != |Aut| %d", p.Name(), product, len(auts))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnectedPattern draws a connected pattern with 3..6 vertices.
+func randomConnectedPattern(rng *rand.Rand) (Pattern, bool) {
+	n := 3 + rng.Intn(4)
+	var edges [][2]int
+	// Random spanning tree guarantees connectivity.
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{rng.Intn(v), v})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	p, err := NewPattern("rand", n, edges)
+	if err != nil {
+		return Pattern{}, false
+	}
+	return p, true
+}
+
+// Property: for any connected pattern, the stabilizer chain's orbit-size
+// product equals |Aut| (the restriction set breaks exactly the
+// automorphism group, no more, no less).
+func TestStabilizerChainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, ok := randomConnectedPattern(rng)
+		if !ok {
+			return true
+		}
+		auts := p.Automorphisms()
+		group := auts
+		product := 1
+		for i := 0; i < p.N(); i++ {
+			orbit := map[int]bool{}
+			for _, a := range group {
+				orbit[a[i]] = true
+			}
+			product *= len(orbit)
+			var next [][]int
+			for _, a := range group {
+				if a[i] == i {
+					next = append(next, a)
+				}
+			}
+			group = next
+		}
+		return product == len(auts) && len(group) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every random connected pattern yields a structurally valid
+// schedule in both semantics: plans reference only earlier positions,
+// stored references are marked, restriction bounds are well-formed, and
+// the automorphism count divides n!.
+func TestScheduleWellFormedProperty(t *testing.T) {
+	f := func(seed int64, induced bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, ok := randomConnectedPattern(rng)
+		if !ok {
+			return true
+		}
+		s, err := BuildWith(p, BuildOptions{Induced: induced})
+		if err != nil {
+			return false
+		}
+		fact := 1
+		for i := 2; i <= p.N(); i++ {
+			fact *= i
+		}
+		if fact%s.AutomorphismCount != 0 {
+			return false
+		}
+		for d := 1; d < s.Depth(); d++ {
+			plan := s.Plans[d]
+			refs := append([]Op{{Ref: plan.Base}}, plan.Steps...)
+			for _, op := range refs {
+				switch op.Ref.Kind {
+				case RefNeighbor:
+					if op.Ref.Pos < 0 || op.Ref.Pos >= d {
+						return false
+					}
+				case RefStored:
+					if op.Ref.Pos < 1 || op.Ref.Pos >= d || !s.Stored[op.Ref.Pos] {
+						return false
+					}
+				}
+			}
+			for _, a := range plan.BoundBy {
+				if a < 0 || a >= d {
+					return false
+				}
+			}
+			// Plans must cover every earlier adjacent position exactly
+			// once across base+steps (counting stored prefixes).
+			covered := map[int]bool{}
+			var mark func(ref SetRef)
+			mark = func(ref SetRef) {
+				if ref.Kind == RefNeighbor {
+					covered[ref.Pos] = true
+					return
+				}
+				// Stored set at position pos realizes adjacency over
+				// that position's own plan's requirement set.
+				pos := ref.Pos
+				for j := 0; j < pos; j++ {
+					if s.Pattern.HasEdge(j, pos) {
+						covered[j] = true
+					}
+				}
+				// Recursively, a stored set covers everything its own
+				// intersection chain covered for position pos.
+				inner := s.Plans[pos]
+				mark(inner.Base)
+				for _, st := range inner.Steps {
+					if !st.Sub {
+						mark(st.Ref)
+					}
+				}
+			}
+			mark(plan.Base)
+			for _, st := range plan.Steps {
+				if !st.Sub {
+					mark(st.Ref)
+				}
+			}
+			for j := 0; j < d; j++ {
+				if s.Pattern.HasEdge(j, d) && !covered[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,490 @@
+// Package pe models one processing element: the five-unit pipeline of
+// Fig. 4(a) (decoder, dispatch, issue, FUs, spawn), the private L1 cache
+// and scratchpad, the divider/intersection-unit pools, execution-width
+// slots, and the locality monitor that drives Shogun's conservative mode.
+//
+// The PE is policy-agnostic: a Policy supplies tasks in whatever order its
+// scheduling scheme allows (DFS, BFS, pseudo-DFS, parallel-DFS, or the
+// Shogun task tree) and is notified on completion to spawn/extend.
+package pe
+
+import (
+	"fmt"
+
+	"shogun/internal/mem"
+	"shogun/internal/sim"
+	"shogun/internal/task"
+	"shogun/internal/trace"
+)
+
+// Config collects the PE parameters of Table 3.
+type Config struct {
+	Width    int // task execution width (concurrent tasks)
+	Dividers int
+	IUs      int
+
+	IUCyclesPerPair      sim.Time // IU occupancy per segment pair
+	DividerCyclesPerLine sim.Time // divider occupancy per input line
+
+	DecodeLat   sim.Time
+	DispatchLat sim.Time
+	IssueLat    sim.Time
+	// WritebackPerLine is the writeback-unit occupancy per output line.
+	WritebackPerLine sim.Time
+	// SpawnBase + SpawnPerChild×k is the spawn-unit occupancy for
+	// generating k children. LeafCycles is the flat in-slot cost of
+	// consuming the final candidate set as a count (size extraction and
+	// boundary searches; counting workloads never enumerate the last
+	// level).
+	SpawnBase     sim.Time
+	SpawnPerChild sim.Time
+	LeafCycles    sim.Time
+
+	SPMLines int
+
+	L1 mem.CacheConfig
+
+	// MonitorPeriod is the locality-monitor sampling window; the
+	// conservative-mode thresholds are Table 3's transition conditions.
+	MonitorPeriod     sim.Time
+	ConservLatThresh  float64 // L1 window avg latency > this (cycles)
+	ConservUtilThresh float64 // IU window utilization < this
+}
+
+// DefaultConfig mirrors Table 3.
+func DefaultConfig() Config {
+	return Config{
+		Width:                8,
+		Dividers:             12,
+		IUs:                  24,
+		IUCyclesPerPair:      4,
+		DividerCyclesPerLine: 1,
+		DecodeLat:            2,
+		DispatchLat:          2,
+		IssueLat:             1,
+		WritebackPerLine:     1,
+		SpawnBase:            2,
+		SpawnPerChild:        1,
+		LeafCycles:           2,
+		SPMLines:             256,
+		L1: mem.CacheConfig{
+			Name:              "l1",
+			SizeKB:            32,
+			Ways:              4,
+			HitLat:            2,
+			WriteAllocNoFetch: true,
+			MSHRs:             8,
+		},
+		MonitorPeriod: 2048,
+		// Table 3 uses "L1 average access latency > 50 cycles"; the
+		// threshold is rescaled to this model's miss penalty (~30-40
+		// cycles to L2 vs the paper's deeper hierarchy) so it fires at
+		// a comparable miss ratio (~25-30%).
+		ConservLatThresh:  10,
+		ConservUtilThresh: 0.5,
+	}
+}
+
+// SpawnResult tells the PE what a completing task did in the spawn unit.
+type SpawnResult struct {
+	// Spawned is the number of child/extend tasks materialized now.
+	Spawned int
+	// Pruned is the number of candidate fetches abandoned by symmetry
+	// pruning (they still occupy the spawn unit briefly).
+	Pruned int
+	// Leaves is the number of aggregated leaf tasks counted (for
+	// counting workloads the final level is consumed as a set size in
+	// the datapath, not enumerated).
+	Leaves int
+	// Embeddings found by this completion.
+	Embeddings int64
+}
+
+// Policy is a task scheduling scheme driving one PE.
+type Policy interface {
+	// Name identifies the scheme.
+	Name() string
+	// Next returns the next task to execute together with the storage
+	// slot for its output set, or ok=false when nothing is runnable
+	// right now (barriers, empty tree, no tokens...). The PE calls it
+	// only when an execution slot is free.
+	Next(now sim.Time) (n *task.Node, slot int, ok bool)
+	// OnComplete notifies the policy that a task finished its compute
+	// and writeback; the policy updates its structures (spawn children,
+	// extend, release barriers, recycle tokens) and reports the spawn-
+	// unit work.
+	OnComplete(n *task.Node, now sim.Time) SpawnResult
+	// Pending reports whether the policy still has unfinished work
+	// (excluding future roots it might pull).
+	Pending() bool
+	// SetConservative informs the policy of the locality monitor's
+	// conservative-mode decision (§3.2.3). Only Shogun reacts.
+	SetConservative(on bool)
+}
+
+// MonitorSample is one locality-monitor observation, exported to the
+// accelerator for search-tree-merging decisions.
+type MonitorSample struct {
+	L1AvgLat  float64
+	L1HasData bool
+	IUUtil    float64
+}
+
+// PE is one processing element.
+type PE struct {
+	ID  int
+	Eng *sim.Engine
+	Cfg Config
+
+	L1     *mem.Cache // intermediate data
+	L2Path mem.Level  // CSR data (bypasses L1)
+
+	Slots *sim.Semaphore
+	SPM   *sim.Semaphore
+
+	decodeU, dispatchU, issueU, writebackU, spawnU *sim.Pool
+	DivPool, IUPool                                *sim.Pool
+
+	policy Policy
+	w      *task.Workload
+
+	kickPending  bool
+	conservative bool
+	monitorOn    bool
+	iuBusyAtRoll sim.Time
+
+	// Stats
+	LastActive     sim.Time // completion time of the latest finished task
+	PhaseDecode    sim.WindowStat
+	PhaseSPM       sim.WindowStat
+	PhaseFetch     sim.WindowStat
+	PhaseCompute   sim.WindowStat
+	PhaseWB        sim.WindowStat
+	PhaseSpawnWait sim.WindowStat
+	PhaseLeaf      sim.WindowStat
+	SlotResidency  sim.WindowStat
+	TasksExecuted  sim.Counter
+	LeafTasks      sim.Counter
+	PrunedFetches  sim.Counter
+	Embeddings     int64
+	IntermediateIn int64 // intermediate input lines (Table 2 numerator)
+	isIdle         bool
+
+	// OnIdle, when set, is invoked (once per transition) when the PE has
+	// no running tasks and its policy has nothing runnable. The
+	// accelerator uses it for root feeding and load-balance checks.
+	OnIdle func(p *PE)
+	// Tracer, when set, receives one event per completed task.
+	Tracer trace.Tracer
+	// ConservativeTransitions counts monitor-driven mode switches.
+	ConservativeTransitions sim.Counter
+	// LastSample is the most recent monitor observation.
+	LastSample MonitorSample
+}
+
+// New builds a PE. l2path serves CSR reads and L1 misses are routed to the
+// provided parent level via the L1 cache built here.
+func New(id int, eng *sim.Engine, cfg Config, w *task.Workload, l2path mem.Level) (*PE, error) {
+	l1cfg := cfg.L1
+	l1cfg.Name = fmt.Sprintf("pe%d-l1", id)
+	l1, err := mem.NewCache(l1cfg, l2path)
+	if err != nil {
+		return nil, err
+	}
+	p := &PE{
+		ID:         id,
+		Eng:        eng,
+		Cfg:        cfg,
+		L1:         l1,
+		L2Path:     l2path,
+		Slots:      sim.NewSemaphore(fmt.Sprintf("pe%d-slots", id), cfg.Width),
+		SPM:        sim.NewSemaphore(fmt.Sprintf("pe%d-spm", id), cfg.SPMLines),
+		decodeU:    sim.NewPool(fmt.Sprintf("pe%d-decode", id), 1),
+		dispatchU:  sim.NewPool(fmt.Sprintf("pe%d-dispatch", id), 1),
+		issueU:     sim.NewPool(fmt.Sprintf("pe%d-issue", id), 1),
+		writebackU: sim.NewPool(fmt.Sprintf("pe%d-wb", id), 1),
+		spawnU:     sim.NewPool(fmt.Sprintf("pe%d-spawn", id), 1),
+		DivPool:    sim.NewPool(fmt.Sprintf("pe%d-div", id), cfg.Dividers),
+		IUPool:     sim.NewPool(fmt.Sprintf("pe%d-iu", id), cfg.IUs),
+		w:          w,
+		isIdle:     true,
+	}
+	return p, nil
+}
+
+// SetPolicy installs the scheduling policy (must be called before Kick).
+func (p *PE) SetPolicy(pol Policy) { p.policy = pol }
+
+// Policy returns the installed policy.
+func (p *PE) Policy() Policy { return p.policy }
+
+// Workload returns the shared workload.
+func (p *PE) Workload() *task.Workload { return p.w }
+
+// Conservative reports the monitor's current mode.
+func (p *PE) Conservative() bool { return p.conservative }
+
+// Kick schedules a scheduling attempt. Safe to call repeatedly.
+func (p *PE) Kick() {
+	if p.kickPending {
+		return
+	}
+	p.kickPending = true
+	p.Eng.After(0, p.trySchedule)
+}
+
+func (p *PE) trySchedule() {
+	p.kickPending = false
+	now := p.Eng.Now()
+	for p.Slots.Available() > 0 {
+		n, slot, ok := p.policy.Next(now)
+		if !ok {
+			break
+		}
+		if !p.Slots.TryAcquire(now, 1) {
+			panic("pe: slot vanished")
+		}
+		p.noteBusy()
+		p.execute(n, slot)
+	}
+	p.ensureMonitor()
+	p.maybeIdle()
+}
+
+func (p *PE) noteBusy() {
+	p.isIdle = false
+}
+
+func (p *PE) maybeIdle() {
+	if p.Slots.InUse() == 0 && !p.isIdle {
+		p.isIdle = true
+		if p.OnIdle != nil {
+			p.OnIdle(p)
+		}
+	} else if p.Slots.InUse() == 0 && p.isIdle && p.OnIdle != nil {
+		// Already idle but re-kicked with no work: let the accelerator
+		// reconsider (e.g. a split may now be possible).
+		p.OnIdle(p)
+	}
+}
+
+// Idle reports whether no task occupies a slot.
+func (p *PE) Idle() bool { return p.Slots.InUse() == 0 }
+
+// HasWork reports whether the policy holds unfinished work.
+func (p *PE) HasWork() bool { return p.policy.Pending() }
+
+// execute plays one task through the pipeline. The data-side effects
+// (candidate set computation) happen immediately; timing is modeled with
+// busy-until pools and a completion event.
+func (p *PE) execute(n *task.Node, slot int) {
+	now := p.Eng.Now()
+	slotStart := now
+	prof := p.w.Execute(n, slot)
+	p.TasksExecuted.Inc(1)
+	p.IntermediateIn += int64(prof.IntermediateLines)
+
+	// Decode.
+	tDec := p.decodeU.Acquire(now, 1) + p.Cfg.DecodeLat
+	p.PhaseDecode.Add(tDec - now)
+
+	_ = slotStart
+	// Dispatch: allocate SPM lines for inputs + output, possibly
+	// waiting. Large sets do not reserve their whole footprint: the
+	// pipeline streams them through the SPM in multiple rounds (§3.1,
+	// following FINGERS), so a task's reservation is capped at its
+	// slot's streaming window and SPM pressure never serializes the PE
+	// below its execution width.
+	spmNeed := prof.InputLines + prof.OutputLines
+	if window := p.Cfg.SPMLines / p.Cfg.Width; spmNeed > window {
+		spmNeed = window
+	}
+	p.Eng.At(tDec, func() {
+		p.stageDispatch(n, prof, spmNeed, slotStart)
+	})
+}
+
+func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotStart sim.Time) {
+	now := p.Eng.Now()
+	if spmNeed > 0 && !p.SPM.AcquireOrWait(now, spmNeed, func() {
+		p.stageDispatch(n, prof, spmNeed, slotStart)
+	}) {
+		return // re-entered when SPM frees
+	}
+	tDisp := p.dispatchU.Acquire(now, 1) + p.Cfg.DispatchLat
+	p.PhaseSPM.Add(tDisp - now)
+
+	// Fetch inputs in parallel: CSR reads bypass L1 (L2 path),
+	// intermediate reads go through L1.
+	dataReady := tDisp
+	for _, r := range prof.Reads {
+		var done sim.Time
+		if r.Class == task.ReadCSR {
+			done = mem.AccessRange(p.L2Path, tDisp, r.Addr, r.Bytes, false)
+		} else {
+			done = mem.AccessRange(p.L1, tDisp, r.Addr, r.Bytes, false)
+		}
+		if done > dataReady {
+			dataReady = done
+		}
+	}
+
+	p.PhaseFetch.Add(dataReady - tDisp)
+
+	// Issue. The issue/writeback/spawn units sustain one operation per
+	// cycle — far above task arrival rates — so they are modeled as
+	// latency (their pools only account busy cycles for utilization
+	// reporting). Reserving them with busy-until state at non-monotone
+	// timestamps would create false head-of-line serialization.
+	p.issueU.Acquire(dataReady, 1)
+	tIssue := dataReady + p.Cfg.IssueLat
+
+	// Compute: dividers segment the inputs, IUs process segment pairs.
+	tComp := tIssue
+	if prof.SegPairs > 0 {
+		lines := prof.InputLines
+		divDone := tIssue
+		for i := 0; i < lines; i++ {
+			d := p.DivPool.Acquire(tIssue, p.Cfg.DividerCyclesPerLine) + p.Cfg.DividerCyclesPerLine
+			if d > divDone {
+				divDone = d
+			}
+		}
+		for i := 0; i < prof.SegPairs; i++ {
+			c := p.IUPool.Acquire(divDone, p.Cfg.IUCyclesPerPair) + p.Cfg.IUCyclesPerPair
+			if c > tComp {
+				tComp = c
+			}
+		}
+	}
+
+	// Writeback: store the output set to L1 (intermediate region).
+	tWB := tComp
+	if prof.OutBytes > 0 && n.Slot >= 0 {
+		occ := p.Cfg.WritebackPerLine * sim.Time(prof.OutputLines)
+		p.writebackU.Acquire(tComp, occ)
+		wbDone := mem.AccessRange(p.L1, tComp, prof.OutAddr, prof.OutBytes, true)
+		if wbDone > tWB {
+			tWB = wbDone
+		}
+		if tComp+occ > tWB {
+			tWB = tComp + occ
+		}
+	}
+
+	p.PhaseCompute.Add(tComp - tIssue)
+	p.PhaseWB.Add(tWB - tComp)
+	p.Eng.At(tWB, func() { p.finish(n, spmNeed, slotStart) })
+}
+
+func (p *PE) finish(n *task.Node, spmHeld int, slotStart sim.Time) {
+	now := p.Eng.Now()
+	res := p.policy.OnComplete(n, now)
+	p.Embeddings += res.Embeddings
+	p.LeafTasks.Inc(int64(res.Leaves))
+	p.PrunedFetches.Inc(int64(res.Pruned))
+
+	// Child generation serializes through the spawn unit; aggregated
+	// leaf-task processing runs within the completing task's execution
+	// slot (leaf batches of different parents proceed in parallel across
+	// the PE's width), consuming the final candidate set one 16-id line
+	// per LeafCycles.
+	// The spawn unit is a multi-stage pipeline: SpawnBase is its latency
+	// (paid once per completion) while occupancy — and thus throughput —
+	// is one slot per generated child. Extends (one sibling per
+	// completion) and bunch spawns therefore cost the same per child.
+	occ := p.Cfg.SpawnPerChild * sim.Time(res.Spawned)
+	if occ < 1 {
+		occ = 1
+	}
+	p.spawnU.Acquire(now, occ)
+	tDone := now + occ + p.Cfg.SpawnBase
+	p.PhaseSpawnWait.Add(tDone - now)
+	leafStart := tDone
+	if res.Leaves+res.Pruned > 0 {
+		// Counting the final level is a size extraction plus symmetry/
+		// distinctness boundary searches: flat cost, no enumeration.
+		tDone += p.Cfg.LeafCycles
+	}
+	p.PhaseLeaf.Add(tDone - leafStart)
+
+	p.SlotResidency.Add(tDone - slotStart)
+	if tDone > p.LastActive {
+		p.LastActive = tDone
+	}
+	if p.Tracer != nil {
+		p.Tracer.TaskDone(trace.Event{
+			PE: p.ID, TreeID: n.TreeID, Depth: n.Depth, Vertex: int32(n.Vertex),
+			Start: slotStart, Done: tDone, Leaves: res.Leaves,
+		})
+	}
+	p.Eng.At(tDone, func() {
+		if spmHeld > 0 {
+			p.SPM.Release(p.Eng.Now(), spmHeld)
+		}
+		p.Slots.Release(p.Eng.Now(), 1)
+		p.Kick()
+	})
+}
+
+// ensureMonitor starts the periodic locality monitor while the PE is busy.
+func (p *PE) ensureMonitor() {
+	if p.monitorOn || p.Cfg.MonitorPeriod <= 0 {
+		return
+	}
+	if p.Slots.InUse() == 0 && !p.policy.Pending() {
+		return
+	}
+	p.monitorOn = true
+	p.iuBusyAtRoll = p.IUPool.Busy()
+	p.Eng.After(p.Cfg.MonitorPeriod, p.monitorTick)
+}
+
+func (p *PE) monitorTick() {
+	p.monitorOn = false
+	now := p.Eng.Now()
+
+	avgLat, hasData := p.L1.WindowLatency()
+	iuBusy := p.IUPool.Busy() - p.iuBusyAtRoll
+	iuUtil := float64(iuBusy) / (float64(p.Cfg.MonitorPeriod) * float64(p.Cfg.IUs))
+	if iuUtil > 1 {
+		iuUtil = 1 // reservations extending beyond the window
+	}
+	p.LastSample = MonitorSample{L1AvgLat: avgLat, L1HasData: hasData, IUUtil: iuUtil}
+
+	// Conservative-mode transition (Table 3): thrashing (high L1
+	// latency) AND low PE throughput. Exit with hysteresis.
+	if !p.conservative {
+		if hasData && avgLat > p.Cfg.ConservLatThresh && iuUtil < p.Cfg.ConservUtilThresh {
+			p.conservative = true
+			p.ConservativeTransitions.Inc(1)
+			p.policy.SetConservative(true)
+		}
+	} else {
+		if !hasData || avgLat < 0.6*p.Cfg.ConservLatThresh {
+			p.conservative = false
+			p.ConservativeTransitions.Inc(1)
+			p.policy.SetConservative(false)
+			p.Kick()
+		}
+	}
+	_ = now
+	p.ensureMonitor()
+}
+
+// IUUtilization reports all-time IU utilization over elapsed cycles.
+func (p *PE) IUUtilization(elapsed sim.Time) float64 {
+	return p.IUPool.Utilization(elapsed)
+}
+
+// DecodeUtil reports decode-unit occupancy (diagnostics).
+func (p *PE) DecodeUtil(elapsed sim.Time) float64 { return p.decodeU.Utilization(elapsed) }
+
+// DispatchUtil reports dispatch-unit occupancy (diagnostics).
+func (p *PE) DispatchUtil(elapsed sim.Time) float64 { return p.dispatchU.Utilization(elapsed) }
+
+// WritebackUtil reports writeback-unit occupancy (diagnostics).
+func (p *PE) WritebackUtil(elapsed sim.Time) float64 { return p.writebackU.Utilization(elapsed) }
+
+// SpawnUtil reports spawn-unit occupancy (diagnostics).
+func (p *PE) SpawnUtil(elapsed sim.Time) float64 { return p.spawnU.Utilization(elapsed) }

@@ -1,0 +1,189 @@
+package policy
+
+import (
+	"shogun/internal/pe"
+	"shogun/internal/sim"
+	"shogun/internal/task"
+)
+
+// lane is one serial depth-first exploration: at most one task in flight,
+// children prioritized over siblings, siblings drawn via extend when a
+// subtree completes. DFS uses one lane; parallel-DFS uses `width`
+// independent lanes (§2.3, Fig. 3).
+type lane struct {
+	ready    *task.Node // next task to execute, if any
+	inflight bool
+	alive    int // nodes of this lane's tree still allocated
+	treeID   int
+}
+
+// dfsCore implements the shared walk used by DFS and parallel-DFS.
+type dfsCore struct {
+	base
+	lanes   []lane
+	nextTID int
+}
+
+func newDFSCore(w *task.Workload, tokens *Tokens, roots RootSource, lanes int) *dfsCore {
+	return &dfsCore{
+		base:  base{w: w, tokens: tokens, roots: roots},
+		lanes: make([]lane, lanes),
+	}
+}
+
+// next finds a runnable task across lanes, acquiring its output token.
+func (c *dfsCore) next(now sim.Time) (*task.Node, int, bool) {
+	for i := range c.lanes {
+		l := &c.lanes[i]
+		if l.inflight {
+			continue
+		}
+		if l.ready == nil && l.alive == 0 {
+			// Lane is empty: pull a fresh search tree.
+			v, ok := c.roots.NextRoot()
+			if !ok {
+				continue
+			}
+			c.nextTID++
+			l.treeID = c.nextTID
+			l.ready = c.w.NewNode(0, v, nil, l.treeID)
+			l.alive = 1
+		}
+		if l.ready == nil {
+			continue
+		}
+		slot := -1
+		if c.w.NeedsToken(l.ready.Depth) {
+			var ok bool
+			slot, ok = c.tokens.TryAcquire(l.ready.Depth + 1)
+			if !ok {
+				continue
+			}
+		}
+		n := l.ready
+		l.ready = nil
+		l.inflight = true
+		return n, slot, true
+	}
+	return nil, -1, false
+}
+
+// onComplete advances the lane owning n: descend into the first child, or
+// walk up releasing completed subtrees and extend at the shallowest
+// ancestor with unexplored candidates.
+func (c *dfsCore) onComplete(n *task.Node, laneIdx int) pe.SpawnResult {
+	l := &c.lanes[laneIdx]
+	l.inflight = false
+
+	var res pe.SpawnResult
+	if c.isLeafParent(n) {
+		res = c.leafParentResult(n)
+	}
+
+	cur := n
+	for {
+		if cur.HasMoreCands() {
+			v, pruned, ok := c.w.NextChild(cur)
+			res.Pruned += pruned
+			if ok {
+				child := c.w.NewNode(cur.Depth+1, v, cur, cur.TreeID)
+				l.alive++
+				l.ready = child
+				res.Spawned++
+				return res
+			}
+		}
+		if !cur.SubtreeComplete() {
+			// Should not happen in a serial lane: children always
+			// finish before the parent advances.
+			panic("policy: dfs lane found incomplete subtree with no work")
+		}
+		parent := c.releaseNode(cur)
+		l.alive--
+		if parent == nil {
+			return res // tree finished; next() will pull a new root
+		}
+		cur = parent
+	}
+}
+
+// laneOf locates the lane whose in-flight task is n.
+func (c *dfsCore) laneOf(n *task.Node) int {
+	for i := range c.lanes {
+		if c.lanes[i].inflight && c.lanes[i].treeID == n.TreeID {
+			return i
+		}
+	}
+	panic("policy: completed task belongs to no lane")
+}
+
+func (c *dfsCore) pending() bool {
+	for i := range c.lanes {
+		if c.lanes[i].inflight || c.lanes[i].ready != nil || c.lanes[i].alive > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DFS is the depth-first scheme most accelerators use (§2.2): minimal
+// memory footprint, one execution slot used, poor parallelism.
+type DFS struct {
+	core *dfsCore
+}
+
+// NewDFS builds the DFS policy.
+func NewDFS(w *task.Workload, tokens *Tokens, roots RootSource) *DFS {
+	return &DFS{core: newDFSCore(w, tokens, roots, 1)}
+}
+
+// Name implements pe.Policy.
+func (d *DFS) Name() string { return "dfs" }
+
+// Next implements pe.Policy.
+func (d *DFS) Next(now sim.Time) (*task.Node, int, bool) { return d.core.next(now) }
+
+// OnComplete implements pe.Policy.
+func (d *DFS) OnComplete(n *task.Node, now sim.Time) pe.SpawnResult {
+	return d.core.onComplete(n, d.core.laneOf(n))
+}
+
+// Pending implements pe.Policy.
+func (d *DFS) Pending() bool { return d.core.pending() }
+
+// SetConservative implements pe.Policy (no effect: DFS never co-runs
+// non-sibling tasks).
+func (d *DFS) SetConservative(bool) {}
+
+// ParallelDFS explores `lanes` independent search trees on one PE, each
+// depth-first — the extreme out-of-order baseline of Fig. 3. It has
+// maximal slot usage but no locality between co-running tasks and no
+// locality monitoring, which is exactly the failure mode Fig. 3(b) and
+// Fig. 14 demonstrate.
+type ParallelDFS struct {
+	core *dfsCore
+}
+
+// NewParallelDFS builds a parallel-DFS policy with the given lane count
+// (the task execution width).
+func NewParallelDFS(w *task.Workload, tokens *Tokens, roots RootSource, lanes int) *ParallelDFS {
+	return &ParallelDFS{core: newDFSCore(w, tokens, roots, lanes)}
+}
+
+// Name implements pe.Policy.
+func (p *ParallelDFS) Name() string { return "parallel-dfs" }
+
+// Next implements pe.Policy.
+func (p *ParallelDFS) Next(now sim.Time) (*task.Node, int, bool) { return p.core.next(now) }
+
+// OnComplete implements pe.Policy.
+func (p *ParallelDFS) OnComplete(n *task.Node, now sim.Time) pe.SpawnResult {
+	return p.core.onComplete(n, p.core.laneOf(n))
+}
+
+// Pending implements pe.Policy.
+func (p *ParallelDFS) Pending() bool { return p.core.pending() }
+
+// SetConservative implements pe.Policy (parallel-DFS deliberately ignores
+// the monitor; that is its weakness).
+func (p *ParallelDFS) SetConservative(bool) {}

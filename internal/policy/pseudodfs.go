@@ -1,0 +1,181 @@
+package policy
+
+import (
+	"shogun/internal/pe"
+	"shogun/internal/sim"
+	"shogun/internal/task"
+)
+
+// PseudoDFS is the FINGERS scheduling scheme (§2.2, Fig. 2(d)): fetch a
+// task group of up to `groupSize` sibling tasks, execute its members in
+// parallel, and only after the *whole group* completes (the inter-depth
+// barrier) descend into the first member's children as the next group.
+// Memory footprint is bounded like DFS; parallelism and intermediate-data
+// locality are good; the barrier is the weakness Shogun removes.
+type PseudoDFS struct {
+	base
+	groupSize int
+
+	// stack of group frames; only the top frame has running members.
+	stack []pdFrame
+	ready []*task.Node
+	// rootPending holds a fetched root not yet executed.
+	inflight int
+	treeSeq  int
+}
+
+type pdFrame struct {
+	node        *task.Node   // parent whose candidate set feeds the groups
+	group       []*task.Node // members of the current group, in order
+	outstanding int          // members not yet completed
+	memberIdx   int          // next member to descend into after the barrier
+}
+
+// NewPseudoDFS builds the FINGERS baseline; groupSize is the task
+// execution width.
+func NewPseudoDFS(w *task.Workload, tokens *Tokens, roots RootSource, groupSize int) *PseudoDFS {
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	return &PseudoDFS{
+		base:      base{w: w, tokens: tokens, roots: roots},
+		groupSize: groupSize,
+	}
+}
+
+// Name implements pe.Policy.
+func (p *PseudoDFS) Name() string { return "pseudo-dfs" }
+
+// Next implements pe.Policy.
+func (p *PseudoDFS) Next(now sim.Time) (*task.Node, int, bool) {
+	if len(p.ready) == 0 && len(p.stack) == 0 && p.inflight == 0 {
+		// Tree finished (or first call): pull the next root as a
+		// singleton group.
+		v, ok := p.roots.NextRoot()
+		if !ok {
+			return nil, -1, false
+		}
+		p.treeSeq++
+		root := p.w.NewNode(0, v, nil, p.treeSeq)
+		p.ready = append(p.ready, root)
+	}
+	if len(p.ready) == 0 {
+		return nil, -1, false
+	}
+	n := p.ready[0]
+	slot := -1
+	if p.w.NeedsToken(n.Depth) {
+		var ok bool
+		slot, ok = p.tokens.TryAcquire(n.Depth + 1)
+		if !ok {
+			return nil, -1, false
+		}
+	}
+	p.ready = p.ready[1:]
+	p.inflight++
+	return n, slot, true
+}
+
+// OnComplete implements pe.Policy: barrier bookkeeping plus descent.
+func (p *PseudoDFS) OnComplete(n *task.Node, now sim.Time) pe.SpawnResult {
+	p.inflight--
+	var res pe.SpawnResult
+	if p.isLeafParent(n) {
+		res = p.leafParentResult(n)
+	}
+
+	if len(p.stack) == 0 {
+		// n is a root running as a singleton group: open its frame and
+		// let advance form the first group (or retire the tree).
+		p.stack = append(p.stack, pdFrame{node: n})
+		p.advance(&res)
+		return res
+	}
+
+	top := &p.stack[len(p.stack)-1]
+	top.outstanding--
+	if top.outstanding > 0 {
+		// Inter-depth barrier: earlier finishers wait for the group.
+		return res
+	}
+	p.advance(&res)
+	return res
+}
+
+// advance walks the frame stack after a barrier releases: descend into
+// members with children, form the parent's next sibling group, or pop.
+// It is a flat loop — frames are re-derived from the stack each
+// iteration so pushes, pops and node recycling never leave stale
+// references.
+func (p *PseudoDFS) advance(res *pe.SpawnResult) {
+	for len(p.stack) > 0 {
+		topIdx := len(p.stack) - 1
+		top := &p.stack[topIdx]
+		if top.outstanding > 0 {
+			return // a freshly formed group is now running
+		}
+		// Descend into the next member that spawned candidates.
+		descended := false
+		for top.memberIdx < len(top.group) {
+			m := top.group[top.memberIdx]
+			if m.HasMoreCands() {
+				top.memberIdx++
+				p.stack = append(p.stack, pdFrame{node: m})
+				descended = true
+				break
+			}
+			if !m.SubtreeComplete() {
+				panic("policy: pseudo-dfs member incomplete at descent")
+			}
+			p.releaseNode(m)
+			top.memberIdx++
+		}
+		if descended {
+			p.fillGroup(res)
+			continue
+		}
+		// All members' subtrees done: next sibling group from the
+		// parent's remaining candidates.
+		if top.node.HasMoreCands() {
+			p.fillGroup(res)
+			continue
+		}
+		// Parent exhausted: pop. (Its children were all released above,
+		// so the subtree is complete.)
+		if !top.node.SubtreeComplete() {
+			panic("policy: pseudo-dfs frame node incomplete at pop")
+		}
+		p.releaseNode(top.node)
+		p.stack = p.stack[:topIdx]
+	}
+}
+
+// fillGroup materializes up to groupSize children of the top frame's node
+// into the ready queue. A zero-size result (everything pruned) is handled
+// by advance's pop path on the next iteration.
+func (p *PseudoDFS) fillGroup(res *pe.SpawnResult) {
+	top := &p.stack[len(p.stack)-1]
+	top.group = top.group[:0]
+	top.memberIdx = 0
+	for len(top.group) < p.groupSize {
+		v, pruned, ok := p.w.NextChild(top.node)
+		res.Pruned += pruned
+		if !ok {
+			break
+		}
+		child := p.w.NewNode(top.node.Depth+1, v, top.node, top.node.TreeID)
+		top.group = append(top.group, child)
+		p.ready = append(p.ready, child)
+		res.Spawned++
+	}
+	top.outstanding = len(top.group)
+}
+
+// Pending implements pe.Policy.
+func (p *PseudoDFS) Pending() bool {
+	return p.inflight > 0 || len(p.ready) > 0 || len(p.stack) > 0
+}
+
+// SetConservative implements pe.Policy (pseudo-DFS already only co-runs
+// siblings).
+func (p *PseudoDFS) SetConservative(bool) {}

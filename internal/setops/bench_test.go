@@ -1,0 +1,50 @@
+package setops
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSets(n, m, universe int, seed int64) (a, b []VertexID) {
+	rng := rand.New(rand.NewSource(seed))
+	return randSet(rng, n, universe), randSet(rng, m, universe)
+}
+
+func BenchmarkIntersectMerge(b *testing.B) {
+	x, y := benchSets(1000, 1200, 8000, 1)
+	dst := make([]VertexID, 0, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst[:0], x, y)
+	}
+}
+
+func BenchmarkIntersectGallop(b *testing.B) {
+	x, y := benchSets(20, 40000, 200000, 2)
+	dst := make([]VertexID, 0, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst[:0], x, y)
+	}
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	x, y := benchSets(1000, 1200, 8000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectCount(x, y)
+	}
+}
+
+func BenchmarkSubtract(b *testing.B) {
+	x, y := benchSets(1000, 1200, 8000, 4)
+	dst := make([]VertexID, 0, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Subtract(dst[:0], x, y)
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event-processing rate, the
+// simulator's fundamental cost unit.
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var fire func()
+	remaining := b.N
+	fire = func() {
+		if remaining > 0 {
+			remaining--
+			e.After(1, fire)
+		}
+	}
+	e.After(1, fire)
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkPoolAcquire(b *testing.B) {
+	p := NewPool("x", 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Acquire(Time(i), 4)
+	}
+}

@@ -1,0 +1,102 @@
+// Package sim provides the discrete-event simulation core: an event
+// engine with a deterministic total order, resource pools with busy-until
+// semantics and utilization accounting, counting semaphores with waiter
+// queues, and windowed monitors.
+//
+// The accelerator model is event-driven rather than cycle-ticked: a task's
+// pipeline phases are scheduled as timed events, and contended resources
+// (intersection units, execution slots, DRAM channels, NoC links) are
+// modeled as pools whose Acquire returns the earliest start time. This
+// keeps whole-evaluation-grid simulations tractable while preserving the
+// contention behaviour the paper's results depend on.
+package sim
+
+import "container/heap"
+
+// Time is a cycle count.
+type Time = int64
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. Events scheduled for
+// the same time run in scheduling order.
+type Engine struct {
+	pq  eventHeap
+	now Time
+	seq int64
+	// Processed counts executed events (a cheap progress/cost metric).
+	Processed int64
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// modeling bug; it panics to surface the error immediately.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline; returns false if the
+// event queue drained first.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+		e.Step()
+	}
+	return len(e.pq) > 0
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,74 @@
+package sim
+
+// WindowStat accumulates a sum/count pair twice: once for the whole run
+// and once for the current monitoring window. The PE's locality monitor
+// reads the windowed average (e.g. L1 access latency over the last
+// window), then rolls the window.
+type WindowStat struct {
+	TotalSum   int64
+	TotalCount int64
+	winSum     int64
+	winCount   int64
+}
+
+// Add records one observation.
+func (w *WindowStat) Add(v int64) {
+	w.TotalSum += v
+	w.TotalCount++
+	w.winSum += v
+	w.winCount++
+}
+
+// AddN records n observations summing to v.
+func (w *WindowStat) AddN(v int64, n int64) {
+	w.TotalSum += v
+	w.TotalCount += n
+	w.winSum += v
+	w.winCount += n
+}
+
+// Avg returns the all-time average.
+func (w *WindowStat) Avg() float64 {
+	if w.TotalCount == 0 {
+		return 0
+	}
+	return float64(w.TotalSum) / float64(w.TotalCount)
+}
+
+// WindowAvg returns the current window's average; ok is false when the
+// window has no samples.
+func (w *WindowStat) WindowAvg() (avg float64, ok bool) {
+	if w.winCount == 0 {
+		return 0, false
+	}
+	return float64(w.winSum) / float64(w.winCount), true
+}
+
+// WindowCount returns the sample count in the current window.
+func (w *WindowStat) WindowCount() int64 { return w.winCount }
+
+// Roll clears the window accumulators.
+func (w *WindowStat) Roll() { w.winSum, w.winCount = 0, 0 }
+
+// Counter is a monotonically increasing event counter with a window view.
+type Counter struct {
+	Total int64
+	win   int64
+}
+
+// Inc adds n.
+func (c *Counter) Inc(n int64) { c.Total += n; c.win += n }
+
+// Window returns the count accumulated since the last Roll.
+func (c *Counter) Window() int64 { return c.win }
+
+// Roll clears the window accumulator.
+func (c *Counter) Roll() { c.win = 0 }
+
+// Ratio is a convenience for hit-rate style metrics.
+func Ratio(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}

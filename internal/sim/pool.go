@@ -1,0 +1,199 @@
+package sim
+
+// Pool models a bank of identical functional units (intersection units,
+// dividers, DRAM channels, NoC links, pipeline stages). Acquire reserves
+// the earliest-available unit for a duration and returns the start time;
+// the pool accumulates busy cycles for utilization reporting.
+//
+// Pools are "busy-until" abstractions: reservations are made greedily in
+// call order, which matches an in-order arbiter granting requests as they
+// arrive.
+type Pool struct {
+	name  string
+	until []Time
+	busy  Time
+}
+
+// NewPool creates a pool of n units.
+func NewPool(name string, n int) *Pool {
+	if n < 1 {
+		panic("sim: pool needs at least one unit")
+	}
+	return &Pool{name: name, until: make([]Time, n)}
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Size returns the number of units.
+func (p *Pool) Size() int { return len(p.until) }
+
+// Acquire reserves one unit for dur cycles starting no earlier than now,
+// returning the reservation's start time (start+dur is the completion).
+func (p *Pool) Acquire(now Time, dur Time) Time {
+	best := 0
+	for i := 1; i < len(p.until); i++ {
+		if p.until[i] < p.until[best] {
+			best = i
+		}
+	}
+	start := p.until[best]
+	if start < now {
+		start = now
+	}
+	p.until[best] = start + dur
+	p.busy += dur
+	return start
+}
+
+// AcquireDynamic reserves the earliest-available unit starting no earlier
+// than now, for a duration the caller does not yet know; the caller must
+// finish the reservation with ReleaseAt. Used for MSHR-style resources
+// whose hold time depends on a downstream access.
+func (p *Pool) AcquireDynamic(now Time) (unit int, start Time) {
+	best := 0
+	for i := 1; i < len(p.until); i++ {
+		if p.until[i] < p.until[best] {
+			best = i
+		}
+	}
+	start = p.until[best]
+	if start < now {
+		start = now
+	}
+	p.until[best] = start
+	return best, start
+}
+
+// ReleaseAt completes a dynamic reservation: the unit stays busy until t.
+func (p *Pool) ReleaseAt(unit int, t Time) {
+	if t > p.until[unit] {
+		p.busy += t - p.until[unit]
+		p.until[unit] = t
+	}
+}
+
+// NextFree reports the earliest time any unit becomes available.
+func (p *Pool) NextFree() Time {
+	best := p.until[0]
+	for _, u := range p.until[1:] {
+		if u < best {
+			best = u
+		}
+	}
+	return best
+}
+
+// Busy returns the accumulated busy cycles across all units.
+func (p *Pool) Busy() Time { return p.busy }
+
+// Utilization returns busy cycles divided by capacity over elapsed cycles.
+func (p *Pool) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(p.busy) / (float64(elapsed) * float64(len(p.until)))
+}
+
+// Semaphore is a counting resource with an explicit waiter queue, used for
+// resources held across an unknown span (execution slots, SPM lines,
+// address tokens). Waiters are woken FIFO when capacity frees.
+type Semaphore struct {
+	name    string
+	cap     int
+	inUse   int
+	waiters []func()
+
+	// occupancy integral for average-utilization reporting
+	lastChange   Time
+	levelCycles  Time
+	peakInUse    int
+	acquireCount int64
+}
+
+// NewSemaphore creates a semaphore with capacity c.
+func NewSemaphore(name string, c int) *Semaphore {
+	return &Semaphore{name: name, cap: c}
+}
+
+// Name returns the semaphore's name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Cap returns the capacity.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// SetCap adjusts capacity (used by dynamic token tuning); it does not wake
+// waiters by itself — callers should invoke Kick via TryAcquire paths.
+func (s *Semaphore) SetCap(c int) { s.cap = c }
+
+// InUse reports the currently held units.
+func (s *Semaphore) InUse() int { return s.inUse }
+
+// Available reports free units.
+func (s *Semaphore) Available() int { return s.cap - s.inUse }
+
+// TryAcquire acquires n units if available, reporting success.
+func (s *Semaphore) TryAcquire(now Time, n int) bool {
+	if s.inUse+n > s.cap {
+		return false
+	}
+	s.account(now)
+	s.inUse += n
+	s.acquireCount++
+	if s.inUse > s.peakInUse {
+		s.peakInUse = s.inUse
+	}
+	return true
+}
+
+// AcquireOrWait acquires n units or registers fn to be called (once) when
+// any capacity is released. It reports whether the acquisition succeeded
+// immediately. Waiters are strictly FIFO: a new request queues behind
+// existing waiters even if capacity is currently available, modeling an
+// in-order allocation stage (a later small request must not starve an
+// earlier large one).
+func (s *Semaphore) AcquireOrWait(now Time, n int, fn func()) bool {
+	if len(s.waiters) == 0 && s.TryAcquire(now, n) {
+		return true
+	}
+	s.waiters = append(s.waiters, fn)
+	return false
+}
+
+// Release returns n units and wakes all waiters (they re-attempt their
+// acquisition; simpler than precise hand-off and equivalent for a
+// single-threaded event loop).
+func (s *Semaphore) Release(now Time, n int) {
+	s.account(now)
+	s.inUse -= n
+	if s.inUse < 0 {
+		panic("sim: semaphore over-release: " + s.name)
+	}
+	if len(s.waiters) > 0 {
+		ws := s.waiters
+		s.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+func (s *Semaphore) account(now Time) {
+	s.levelCycles += Time(s.inUse) * (now - s.lastChange)
+	s.lastChange = now
+}
+
+// AvgOccupancy reports the time-averaged units in use through `now`.
+func (s *Semaphore) AvgOccupancy(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	total := s.levelCycles + Time(s.inUse)*(now-s.lastChange)
+	return float64(total) / float64(now)
+}
+
+// Peak reports the peak concurrent units held.
+func (s *Semaphore) Peak() int { return s.peakInUse }
+
+// Acquires reports the total successful acquisitions.
+func (s *Semaphore) Acquires() int64 { return s.acquireCount }

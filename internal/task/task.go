@@ -1,0 +1,443 @@
+// Package task provides the search-tree node representation and the
+// workload executor shared by every scheduling policy (BFS, DFS,
+// pseudo-DFS, parallel-DFS, Shogun).
+//
+// A task in the paper's terminology is one search-tree node: matching
+// position (depth) plus the graph vertex matched there. Executing a task
+// computes the candidate set for the next position via the schedule's set
+// operations. The executor here computes both the real data (so simulated
+// runs produce exact embedding counts) and a timing profile (which memory
+// regions are read/written and how many FU segment pairs the set ops
+// consume) that the PE pipeline model turns into simulated time.
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"shogun/internal/graph"
+	"shogun/internal/mem"
+	"shogun/internal/pattern"
+	"shogun/internal/setops"
+)
+
+// Node is one search-tree node / task.
+type Node struct {
+	Depth  int
+	Vertex graph.VertexID
+	Parent *Node
+	// TreeID identifies the search-tree instance the node belongs to
+	// (relevant when a PE explores two merged trees, §4.2, or receives a
+	// split subtree, §4.1).
+	TreeID int
+
+	// Execution products (valid once Executed):
+
+	// Cand is the raw candidate set for Depth+1 (nil for leaf-depth
+	// nodes, which compute nothing).
+	Cand []graph.VertexID
+	// SpawnLimit is the index bound in Cand after symmetry-breaking
+	// truncation: children are drawn from Cand[:SpawnLimit].
+	SpawnLimit int
+	// NextCand is the enumeration cursor into Cand[:SpawnLimit].
+	NextCand int
+	// Live counts direct children whose subtrees are incomplete.
+	Live int
+	// Executed is set once the node's set operations have been played.
+	Executed bool
+	// Slot is the intermediate-set storage slot (address token) holding
+	// Cand; -1 when none is allocated.
+	Slot int
+	// SharedCand marks an alias task: Cand and Slot belong to an
+	// ancestor's stored set (the plan was a pure reference, e.g. the
+	// diamond's second apex drawing from the same candidate set). The
+	// node owns neither the slice nor the token.
+	SharedCand bool
+
+	// SplitLo/SplitHi restrict a received split subtree: only candidates
+	// with index in [SplitLo, SplitHi) of the root's Cand are explored.
+	// Zero values mean "no restriction" (SplitHi==0).
+	SplitLo, SplitHi int
+}
+
+// HasMoreCands reports whether the node still has unexplored candidates.
+func (n *Node) HasMoreCands() bool {
+	return n.Executed && n.NextCand < n.effectiveLimit()
+}
+
+func (n *Node) effectiveLimit() int {
+	lim := n.SpawnLimit
+	if n.SplitHi > 0 && n.SplitHi < lim {
+		lim = n.SplitHi
+	}
+	return lim
+}
+
+// SubtreeComplete reports whether the node's whole subtree has finished:
+// it executed, has no unexplored candidates, and no live children.
+func (n *Node) SubtreeComplete() bool {
+	return n.Executed && !n.HasMoreCands() && n.Live == 0
+}
+
+// Path writes the matched vertices of the node's ancestor chain (root
+// first, the node itself last) into buf, which must have length ≥
+// Depth+1. It returns buf[:Depth+1].
+func (n *Node) Path(buf []graph.VertexID) []graph.VertexID {
+	for cur := n; cur != nil; cur = cur.Parent {
+		buf[cur.Depth] = cur.Vertex
+	}
+	return buf[:n.Depth+1]
+}
+
+// Ancestor returns the ancestor at the given depth (may be n itself).
+func (n *Node) Ancestor(depth int) *Node {
+	cur := n
+	for cur != nil && cur.Depth > depth {
+		cur = cur.Parent
+	}
+	if cur == nil || cur.Depth != depth {
+		panic(fmt.Sprintf("task: ancestor at depth %d not found from depth %d", depth, n.Depth))
+	}
+	return cur
+}
+
+// ReadClass distinguishes memory regions with different cache policies.
+type ReadClass int
+
+const (
+	// ReadCSR is graph adjacency data: cached in L2 only (§3.1).
+	ReadCSR ReadClass = iota
+	// ReadIntermediate is a materialized candidate set: cached in L1.
+	ReadIntermediate
+)
+
+// Read describes one input-set fetch of a task.
+type Read struct {
+	Class ReadClass
+	Addr  int64
+	Bytes int64
+}
+
+// Profile is the timing-relevant description of one task's execution.
+type Profile struct {
+	Reads []Read
+	// OutBytes is the size of the produced candidate set (written to the
+	// node's slot address).
+	OutBytes int64
+	// OutAddr is the write target (valid when OutBytes > 0).
+	OutAddr int64
+	// SegPairs is the set-operation work in divider/IU segment pairs.
+	SegPairs int
+	// InputLines and OutputLines are the SPM footprint of the task.
+	InputLines  int
+	OutputLines int
+	// IntermediateLines counts input lines read from the intermediate
+	// region (the Table 2 metric).
+	IntermediateLines int
+	// Leaf marks a no-compute task at the last matching position.
+	Leaf bool
+}
+
+// Workload binds a graph, a schedule and the simulated address layout.
+// One Workload is shared by all PEs of an accelerator run (the event loop
+// is single-threaded, so the shared scratch buffers are safe).
+type Workload struct {
+	G   *graph.Graph
+	S   *pattern.Schedule
+	Map mem.AddressMap
+
+	scratchA []graph.VertexID
+	scratchB []graph.VertexID
+	pathBuf  []graph.VertexID
+	free     [][]graph.VertexID // Cand slice free list
+	nodeFree []*Node
+}
+
+// NewWorkload creates a workload; slots are the total number of
+// intermediate-set storage slots across all PEs (sizing the address map's
+// intermediate region implicitly — slots beyond it would alias, so the
+// caller passes the true total).
+func NewWorkload(g *graph.Graph, s *pattern.Schedule) *Workload {
+	maxSet := g.MaxDegree()
+	return &Workload{
+		G:        g,
+		S:        s,
+		Map:      mem.NewAddressMap(int64(g.NumEdges()*2), maxSet),
+		scratchA: make([]graph.VertexID, 0, maxSet),
+		scratchB: make([]graph.VertexID, 0, maxSet),
+		pathBuf:  make([]graph.VertexID, s.Depth()),
+	}
+}
+
+// LeafDepth returns the last matching position.
+func (w *Workload) LeafDepth() int { return w.S.Depth() - 1 }
+
+// NewNode allocates a node (from the free list when possible).
+func (w *Workload) NewNode(depth int, v graph.VertexID, parent *Node, treeID int) *Node {
+	var n *Node
+	if k := len(w.nodeFree); k > 0 {
+		n = w.nodeFree[k-1]
+		w.nodeFree = w.nodeFree[:k-1]
+		*n = Node{}
+	} else {
+		n = &Node{}
+	}
+	n.Depth = depth
+	n.Vertex = v
+	n.Parent = parent
+	n.TreeID = treeID
+	n.Slot = -1
+	if parent != nil {
+		parent.Live++
+	}
+	return n
+}
+
+// Release returns a completed node's buffers to the free lists and
+// detaches it from its parent, returning the parent (whose Live count has
+// been decremented) or nil for roots. The caller must have checked
+// SubtreeComplete.
+func (w *Workload) Release(n *Node) *Node {
+	if n.Cand != nil {
+		if !n.SharedCand {
+			w.free = append(w.free, n.Cand[:0])
+		}
+		n.Cand = nil
+	}
+	parent := n.Parent
+	if parent != nil {
+		parent.Live--
+		if parent.Live < 0 {
+			panic("task: parent live count underflow")
+		}
+	}
+	n.Parent = nil
+	w.nodeFree = append(w.nodeFree, n)
+	return parent
+}
+
+func (w *Workload) candBuf() []graph.VertexID {
+	if k := len(w.free); k > 0 {
+		b := w.free[k-1]
+		w.free = w.free[:k-1]
+		return b
+	}
+	return make([]graph.VertexID, 0, w.G.MaxDegree())
+}
+
+// resolve returns the actual set named by ref for the node's path, plus
+// its Read descriptor. For RefStored the owning ancestor's slot provides
+// the address.
+func (w *Workload) resolve(n *Node, ref pattern.SetRef, path []graph.VertexID) ([]graph.VertexID, Read) {
+	if ref.Kind == pattern.RefNeighbor {
+		u := path[ref.Pos]
+		set := w.G.Neighbors(u)
+		return set, Read{
+			Class: ReadCSR,
+			Addr:  w.Map.CSRAddr(w.G.NeighborOffset(u)),
+			Bytes: int64(len(set)) * 4,
+		}
+	}
+	owner := n.Ancestor(ref.Pos - 1)
+	if !owner.Executed || owner.Cand == nil {
+		panic("task: stored set referenced before materialization")
+	}
+	return owner.Cand, Read{
+		Class: ReadIntermediate,
+		Addr:  w.Map.SetAddr(owner.Slot),
+		Bytes: int64(len(owner.Cand)) * 4,
+	}
+}
+
+// Execute runs the node's set operations: it fills n.Cand/SpawnLimit and
+// returns the timing profile. slot is the storage slot allocated for the
+// output set (-1 if the output is not stored — only legal for leaf-depth
+// nodes). Execute must be called exactly once per node.
+func (w *Workload) Execute(n *Node, slot int) Profile {
+	if n.Executed {
+		panic("task: node executed twice")
+	}
+	n.Executed = true
+	n.Slot = slot
+
+	var prof Profile
+	if n.Depth == w.LeafDepth() {
+		prof.Leaf = true
+		return prof
+	}
+
+	childDepth := n.Depth + 1
+	plan := &w.S.Plans[childDepth]
+	path := n.Path(w.pathBuf)
+
+	if w.PlanIsAlias(childDepth) {
+		// Alias plan: the candidate set IS an ancestor's stored set.
+		// No set operation, no copy, no token: the node references the
+		// owner's data; children (or the leaf counter) read it in
+		// place. This is where sibling locality comes from — all
+		// siblings re-read the same intermediate lines.
+		owner := n.Ancestor(plan.Base.Pos - 1)
+		if !owner.Executed || owner.Cand == nil {
+			panic("task: alias of unmaterialized set")
+		}
+		n.Cand = owner.Cand
+		n.Slot = owner.Slot
+		n.SharedCand = true
+		w.truncate(n, plan, path)
+		return prof
+	}
+
+	base, baseRead := w.resolve(n, plan.Base, path)
+	prof.Reads = append(prof.Reads, baseRead)
+	if baseRead.Class == ReadIntermediate {
+		prof.IntermediateLines += setops.Lines(len(base))
+	}
+	prof.InputLines += setops.Lines(len(base))
+
+	cur := base
+	if len(plan.Steps) == 0 {
+		// CSR-base copy plan: materialize the neighbor set as an
+		// intermediate result (the "depth-1 tasks fetch the neighbor
+		// set as the intermediate results" behaviour of §5.2.1).
+		n.Cand = append(w.candBuf(), base...)
+	} else {
+		for i, op := range plan.Steps {
+			operand, opRead := w.resolve(n, op.Ref, path)
+			prof.Reads = append(prof.Reads, opRead)
+			if opRead.Class == ReadIntermediate {
+				prof.IntermediateLines += setops.Lines(len(operand))
+			}
+			prof.InputLines += setops.Lines(len(operand))
+			prof.SegPairs += setops.SegmentPairs(len(cur), len(operand))
+
+			var dst []graph.VertexID
+			last := i == len(plan.Steps)-1
+			switch {
+			case last:
+				dst = w.candBuf()
+			case i%2 == 0:
+				dst = w.scratchA[:0]
+			default:
+				dst = w.scratchB[:0]
+			}
+			if op.Sub {
+				dst = setops.Subtract(dst, cur, operand)
+			} else {
+				dst = setops.Intersect(dst, cur, operand)
+			}
+			switch {
+			case last:
+				n.Cand = dst
+			case i%2 == 0:
+				w.scratchA = dst
+			default:
+				w.scratchB = dst
+			}
+			cur = dst
+		}
+	}
+
+	w.truncate(n, plan, path)
+
+	prof.OutBytes = int64(len(n.Cand)) * 4
+	prof.OutputLines = setops.Lines(len(n.Cand))
+	if slot >= 0 {
+		prof.OutAddr = w.Map.SetAddr(slot)
+	}
+	return prof
+}
+
+// truncate applies symmetry-breaking upper bounds: children must be <
+// every bounding ancestor's vertex, so the sorted candidate set shrinks
+// to a prefix.
+func (w *Workload) truncate(n *Node, plan *pattern.Plan, path []graph.VertexID) {
+	n.SpawnLimit = len(n.Cand)
+	for _, a := range plan.BoundBy {
+		limit := path[a]
+		k := sort.Search(n.SpawnLimit, func(i int) bool { return n.Cand[i] >= limit })
+		if k < n.SpawnLimit {
+			n.SpawnLimit = k
+		}
+	}
+}
+
+// PlanIsAlias reports whether the candidate plan for position d is a pure
+// reference to an ancestor's stored set (no set operation, no storage of
+// its own — the task at position d-1 needs no address token).
+func (w *Workload) PlanIsAlias(d int) bool {
+	if d <= 0 || d >= w.S.Depth() {
+		return false
+	}
+	p := &w.S.Plans[d]
+	return p.Base.Kind == pattern.RefStored && len(p.Steps) == 0
+}
+
+// NeedsToken reports whether a task at the given depth requires an
+// address token for its output candidate set. Leaf-parent tasks never do:
+// for counting workloads the final candidate set is consumed as a size in
+// the datapath (GraphPi-style counting; FlexMiner/FINGERS count the last
+// level without materializing it), so nothing is stored.
+func (w *Workload) NeedsToken(depth int) bool {
+	if depth+1 >= w.LeafDepth() {
+		return false
+	}
+	return !w.PlanIsAlias(depth + 1)
+}
+
+// ChildValid reports whether candidate v can extend the node to a child at
+// Depth+1 (distinctness against non-adjacent matched ancestors; adjacency
+// constraints are already encoded in the candidate set).
+func (w *Workload) ChildValid(n *Node, v graph.VertexID) bool {
+	for _, j := range w.S.Plans[n.Depth+1].Distinct {
+		if n.Ancestor(j).Vertex == v {
+			return false
+		}
+	}
+	return true
+}
+
+// NextChild draws the next valid candidate from the node's cursor,
+// skipping pruned (distinctness-violating) candidates. ok is false when
+// the cursor is exhausted. pruned reports how many candidates were
+// skipped (they still cost the spawn unit a vertex fetch each).
+func (w *Workload) NextChild(n *Node) (v graph.VertexID, pruned int, ok bool) {
+	lim := n.effectiveLimit()
+	for n.NextCand < lim {
+		c := n.Cand[n.NextCand]
+		n.NextCand++
+		if w.ChildValid(n, c) {
+			return c, pruned, true
+		}
+		pruned++
+	}
+	return 0, pruned, false
+}
+
+// CountLeafMatches counts the node's valid children when the node sits at
+// the second-to-last position: each valid candidate is one embedding.
+// Used for aggregated leaf handling (see DESIGN.md): the count is exact,
+// identical to enumerating leaf tasks one by one, but computed in
+// O(|Distinct| · log n) — the only invalid candidates are the (at most
+// |Distinct|) already-matched vertices, each locatable by binary search
+// in the sorted candidate set.
+func (w *Workload) CountLeafMatches(n *Node) int64 {
+	if n.Depth != w.LeafDepth()-1 {
+		panic("task: CountLeafMatches on wrong depth")
+	}
+	lim := n.effectiveLimit()
+	count := int64(lim - n.NextCand)
+	window := n.Cand[n.NextCand:lim]
+	for _, j := range w.S.Plans[n.Depth+1].Distinct {
+		if setops.Contains(window, n.Ancestor(j).Vertex) {
+			count--
+		}
+	}
+	n.NextCand = lim
+	return count
+}
+
+// RootCandLines reports the candidate-set size (in cache lines) of a
+// depth-0 node — the data volume a task-tree split must transfer (§4.1).
+func RootCandLines(n *Node) int64 {
+	return int64(setops.Lines(len(n.Cand)))
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Timeline renders per-PE occupancy over time as an ASCII chart — a
+// quick visual for load imbalance and straggler trees (the Fig. 11
+// phenomenology) without leaving the terminal.
+type Timeline struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTimeline builds an empty timeline collector.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// TaskDone implements Tracer.
+func (tl *Timeline) TaskDone(ev Event) {
+	tl.mu.Lock()
+	tl.events = append(tl.events, ev)
+	tl.mu.Unlock()
+}
+
+// Render draws one row per PE with `cols` time buckets. Bucket glyphs
+// scale with the number of task-cycles overlapping the bucket:
+// ' ' idle, '.' light, ':' moderate, '#' busy.
+func (tl *Timeline) Render(cols int) string {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if len(tl.events) == 0 || cols < 1 {
+		return "(no trace events)\n"
+	}
+	var end int64
+	pes := map[int]bool{}
+	for _, ev := range tl.events {
+		if ev.Done > end {
+			end = ev.Done
+		}
+		pes[ev.PE] = true
+	}
+	if end == 0 {
+		end = 1
+	}
+	bucket := (end + int64(cols) - 1) / int64(cols)
+	if bucket == 0 {
+		bucket = 1
+	}
+
+	// occupancy[pe][col] accumulates task-cycles.
+	occ := map[int][]int64{}
+	for pe := range pes {
+		occ[pe] = make([]int64, cols)
+	}
+	for _, ev := range tl.events {
+		for c := ev.Start / bucket; c <= (ev.Done-1)/bucket && c < int64(cols); c++ {
+			lo := c * bucket
+			hi := lo + bucket
+			s, e := ev.Start, ev.Done
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				occ[ev.PE][c] += e - s
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(pes))
+	for pe := range pes {
+		ids = append(ids, pe)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d cycles, %d cycles/col\n", end, bucket)
+	for _, pe := range ids {
+		fmt.Fprintf(&b, "pe%-3d |", pe)
+		for _, v := range occ[pe] {
+			frac := float64(v) / float64(bucket)
+			switch {
+			case frac <= 0.01:
+				b.WriteByte(' ')
+			case frac < 1:
+				b.WriteByte('.')
+			case frac < 4:
+				b.WriteByte(':')
+			default:
+				b.WriteByte('#')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

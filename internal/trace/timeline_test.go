@@ -1,0 +1,62 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"shogun/internal/accel"
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+	"shogun/internal/trace"
+)
+
+func TestTimelineRender(t *testing.T) {
+	tl := trace.NewTimeline()
+	tl.TaskDone(trace.Event{PE: 0, Start: 0, Done: 100})
+	tl.TaskDone(trace.Event{PE: 1, Start: 50, Done: 60})
+	out := tl.Render(10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "pe0") || !strings.HasPrefix(lines[2], "pe1") {
+		t.Fatalf("rows:\n%s", out)
+	}
+	// pe0 is busy the whole run; its row must contain non-blank glyphs.
+	if !strings.ContainsAny(lines[1], ".:#") {
+		t.Fatalf("pe0 row looks idle: %q", lines[1])
+	}
+	// pe1 is busy only briefly: must have blanks.
+	body := lines[2][strings.Index(lines[2], "|")+1:]
+	if !strings.Contains(body, " ") {
+		t.Fatalf("pe1 row has no idle buckets: %q", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if got := trace.NewTimeline().Render(10); !strings.Contains(got, "no trace") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestTimelineFromSimulation(t *testing.T) {
+	g := gen.RMAT(128, 700, 0.6, 0.15, 0.15, 2)
+	s, _ := pattern.Build(pattern.Triangle())
+	tl := trace.NewTimeline()
+	cfg := accel.DefaultConfig(accel.SchemeShogun)
+	cfg.NumPEs = 3
+	cfg.Tracer = tl
+	a, err := accel.New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := tl.Render(40)
+	for _, pe := range []string{"pe0", "pe1", "pe2"} {
+		if !strings.Contains(out, pe) {
+			t.Fatalf("missing %s row:\n%s", pe, out)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package trace records per-task execution events from the simulator for
+// offline analysis: task latency breakdowns, per-depth histograms, and
+// JSONL dumps consumable by external tooling.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event describes one completed task.
+type Event struct {
+	PE     int   `json:"pe"`
+	TreeID int   `json:"tree"`
+	Depth  int   `json:"depth"`
+	Vertex int32 `json:"vertex"`
+	Start  int64 `json:"start"`
+	Done   int64 `json:"done"`
+	// Leaves counted at completion (leaf-parent tasks).
+	Leaves int `json:"leaves,omitempty"`
+}
+
+// Tracer consumes task events. Implementations must be cheap: the
+// simulator calls TaskDone once per task.
+type Tracer interface {
+	TaskDone(Event)
+}
+
+// JSONL streams events as JSON lines.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int64
+}
+
+// NewJSONL wraps w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+
+// TaskDone implements Tracer.
+func (j *JSONL) TaskDone(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+	_ = j.enc.Encode(ev)
+}
+
+// Count reports emitted events.
+func (j *JSONL) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Summary aggregates latency statistics per depth.
+type Summary struct {
+	mu     sync.Mutex
+	depths map[int]*depthStats
+}
+
+type depthStats struct {
+	count     int64
+	totalLat  int64
+	latencies []int64 // reservoir for percentiles (capped)
+}
+
+const reservoirCap = 1 << 14
+
+// NewSummary builds an empty aggregator.
+func NewSummary() *Summary { return &Summary{depths: map[int]*depthStats{}} }
+
+// TaskDone implements Tracer.
+func (s *Summary) TaskDone(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.depths[ev.Depth]
+	if d == nil {
+		d = &depthStats{}
+		s.depths[ev.Depth] = d
+	}
+	lat := ev.Done - ev.Start
+	d.count++
+	d.totalLat += lat
+	if len(d.latencies) < reservoirCap {
+		d.latencies = append(d.latencies, lat)
+	}
+}
+
+// DepthReport is one row of a Summary.
+type DepthReport struct {
+	Depth  int
+	Tasks  int64
+	AvgLat float64
+	P50    int64
+	P99    int64
+}
+
+// Report returns per-depth statistics sorted by depth.
+func (s *Summary) Report() []DepthReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []DepthReport
+	for depth, d := range s.depths {
+		r := DepthReport{Depth: depth, Tasks: d.count}
+		if d.count > 0 {
+			r.AvgLat = float64(d.totalLat) / float64(d.count)
+		}
+		if len(d.latencies) > 0 {
+			sorted := append([]int64(nil), d.latencies...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			r.P50 = sorted[len(sorted)/2]
+			r.P99 = sorted[len(sorted)*99/100]
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Depth < out[j].Depth })
+	return out
+}
+
+// String renders the report as an aligned table.
+func (s *Summary) String() string {
+	out := fmt.Sprintf("%-6s %12s %10s %8s %8s\n", "depth", "tasks", "avg-lat", "p50", "p99")
+	for _, r := range s.Report() {
+		out += fmt.Sprintf("%-6d %12d %10.1f %8d %8d\n", r.Depth, r.Tasks, r.AvgLat, r.P50, r.P99)
+	}
+	return out
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// TaskDone implements Tracer.
+func (m Multi) TaskDone(ev Event) {
+	for _, t := range m {
+		t.TaskDone(ev)
+	}
+}

@@ -1,0 +1,84 @@
+package trace_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"shogun/internal/accel"
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+	"shogun/internal/trace"
+)
+
+func TestJSONLAndSummaryFromSimulation(t *testing.T) {
+	g := gen.RMAT(128, 700, 0.6, 0.15, 0.15, 2)
+	s, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jsonl := trace.NewJSONL(&buf)
+	summary := trace.NewSummary()
+
+	cfg := accel.DefaultConfig(accel.SchemeShogun)
+	cfg.NumPEs = 2
+	cfg.Tracer = trace.Multi{jsonl, summary}
+	a, err := accel.New(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Count() != res.Tasks {
+		t.Fatalf("traced %d events, simulator ran %d tasks", jsonl.Count(), res.Tasks)
+	}
+
+	// Every line must be valid JSON with sane fields.
+	sc := bufio.NewScanner(&buf)
+	lines := int64(0)
+	var totalLeaves int64
+	for sc.Scan() {
+		var ev trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		if ev.Done < ev.Start || ev.Depth < 0 || ev.Depth >= s.Depth() {
+			t.Fatalf("implausible event %+v", ev)
+		}
+		totalLeaves += int64(ev.Leaves)
+		lines++
+	}
+	if lines != res.Tasks {
+		t.Fatalf("lines %d != tasks %d", lines, res.Tasks)
+	}
+	if totalLeaves != res.Embeddings {
+		t.Fatalf("traced leaves %d != embeddings %d", totalLeaves, res.Embeddings)
+	}
+
+	// Summary: per-depth rows, total task count preserved, report sorted.
+	rep := summary.Report()
+	if len(rep) == 0 {
+		t.Fatal("empty summary")
+	}
+	var tasks int64
+	for i, r := range rep {
+		tasks += r.Tasks
+		if r.AvgLat <= 0 || r.P99 < r.P50 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if i > 0 && rep[i-1].Depth >= r.Depth {
+			t.Fatal("report not sorted by depth")
+		}
+	}
+	if tasks != res.Tasks {
+		t.Fatalf("summary tasks %d != %d", tasks, res.Tasks)
+	}
+	if !strings.Contains(summary.String(), "p99") {
+		t.Fatal("summary table malformed")
+	}
+}

@@ -1,0 +1,122 @@
+package shogun_test
+
+import (
+	"strings"
+	"testing"
+
+	"shogun"
+)
+
+func TestPublicAPICountAndSimulateAgree(t *testing.T) {
+	g := shogun.GenerateRMAT(1<<10, 6000, 0.6, 0.15, 0.15, 42)
+	for _, tc := range []struct {
+		p       shogun.Pattern
+		induced bool
+	}{
+		{shogun.Triangle(), false},
+		{shogun.FourClique(), false},
+		{shogun.Diamond(), true},
+		{shogun.FourCycle(), false},
+	} {
+		s, err := shogun.BuildSchedule(tc.p, tc.induced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := shogun.Count(g, s)
+		cfg := shogun.DefaultSimConfig(shogun.SchemeShogun)
+		cfg.NumPEs = 4
+		res, err := shogun.Simulate(g, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Embeddings != want {
+			t.Errorf("%s: simulate %d != count %d", s.Name, res.Embeddings, want)
+		}
+	}
+}
+
+func TestPublicAPIGraphConstruction(t *testing.T) {
+	g, err := shogun.NewGraph(4, []shogun.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := shogun.BuildSchedule(shogun.Triangle(), false)
+	if got := shogun.Count(g, s); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+	g2, err := shogun.ReadGraph(strings.NewReader("0 1\n1 2\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shogun.Count(g2, s); got != 1 {
+		t.Fatalf("parsed graph triangles = %d", got)
+	}
+}
+
+func TestPublicAPIDatasets(t *testing.T) {
+	names := shogun.DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("datasets = %v", names)
+	}
+	g, err := shogun.Dataset("wi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := shogun.Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPublicAPIMineEach(t *testing.T) {
+	g := shogun.GenerateErdosRenyi(30, 120, 7)
+	s, _ := shogun.BuildSchedule(shogun.Triangle(), false)
+	var visited int64
+	res := shogun.MineEach(g, s, func(m []shogun.VertexID) {
+		visited++
+		if len(m) != 3 {
+			t.Fatalf("embedding size %d", len(m))
+		}
+		if !g.HasEdge(m[0], m[1]) || !g.HasEdge(m[1], m[2]) || !g.HasEdge(m[0], m[2]) {
+			t.Fatalf("non-triangle %v", m)
+		}
+	})
+	if visited != res.Embeddings {
+		t.Fatalf("visited %d != %d", visited, res.Embeddings)
+	}
+}
+
+func TestPublicAPICustomPattern(t *testing.T) {
+	p, err := shogun.NewPattern("wedge", 3, [][2]int{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := shogun.BuildSchedule(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedges in a triangle graph: 3.
+	g, _ := shogun.NewGraph(3, []shogun.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if got := shogun.Count(g, s); got != 3 {
+		t.Fatalf("wedges = %d, want 3", got)
+	}
+}
+
+func TestPublicAPISchemes(t *testing.T) {
+	g := shogun.GenerateErdosRenyi(100, 500, 3)
+	s, _ := shogun.BuildSchedule(shogun.Triangle(), false)
+	want := shogun.Count(g, s)
+	for _, scheme := range []shogun.Scheme{shogun.SchemeShogun, shogun.SchemeFingers, shogun.SchemeDFS, shogun.SchemeBFS, shogun.SchemeParallelDFS} {
+		cfg := shogun.DefaultSimConfig(scheme)
+		cfg.NumPEs = 2
+		res, err := shogun.Simulate(g, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.Embeddings != want {
+			t.Errorf("%s: %d != %d", scheme, res.Embeddings, want)
+		}
+	}
+}

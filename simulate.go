@@ -1,0 +1,45 @@
+package shogun
+
+import (
+	"shogun/internal/accel"
+)
+
+// Scheme names a task scheduling scheme for the simulated accelerator.
+type Scheme = accel.Scheme
+
+// The available schemes (Table 1 of the paper). SchemeFingers is the
+// pseudo-DFS baseline accelerator.
+const (
+	SchemeShogun      = accel.SchemeShogun
+	SchemePseudoDFS   = accel.SchemePseudoDFS
+	SchemeFingers     = accel.SchemeFingers
+	SchemeDFS         = accel.SchemeDFS
+	SchemeBFS         = accel.SchemeBFS
+	SchemeParallelDFS = accel.SchemeParallelDFS
+)
+
+// SimConfig parameterizes the simulated accelerator (PE count, execution
+// width, cache/DRAM/NoC models, Shogun task-tree geometry, optimization
+// toggles).
+type SimConfig = accel.Config
+
+// SimResult carries the outcome of a simulated run: cycle count, exact
+// embedding count, utilization and memory-system statistics.
+type SimResult = accel.Result
+
+// DefaultSimConfig returns the paper's Table 3 configuration for the
+// given scheme: 10 PEs, task execution width 8, 12 dividers + 24 IUs per
+// PE, 16 KB SPM, 32 KB 4-way private L1, shared L2, DDR4-like DRAM.
+func DefaultSimConfig(scheme Scheme) SimConfig { return accel.DefaultConfig(scheme) }
+
+// Simulate runs the cycle-level accelerator simulation of graph g with
+// schedule s and returns the result. The simulation is deterministic and
+// also computes the true embedding count, so callers can cross-check it
+// against Count.
+func Simulate(g *Graph, s *Schedule, cfg SimConfig) (*SimResult, error) {
+	a, err := accel.New(g, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run()
+}
