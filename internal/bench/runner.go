@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"shogun/internal/accel"
 	"shogun/internal/datasets"
@@ -101,26 +102,36 @@ type cell struct {
 }
 
 // runCells executes cells concurrently (each simulation is single-
-// threaded and independent) and returns results keyed by cell key.
+// threaded and independent) and returns results keyed by cell key. A
+// fixed pool of workers drains a job channel, so full-mode grids never
+// create more goroutines than they can run.
 func runCells(o Options, cells []cell) (map[string]*accel.Result, error) {
 	type outcome struct {
 		key string
 		res *accel.Result
 		err error
 	}
-	sem := make(chan struct{}, o.workers())
+	workers := o.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	jobs := make(chan cell)
 	outs := make(chan outcome, len(cells))
 	var wg sync.WaitGroup
-	for _, c := range cells {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(c cell) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := runOne(o, c)
-			outs <- outcome{c.key, res, err}
-		}(c)
+			for c := range jobs {
+				res, err := runOne(o, c)
+				outs <- outcome{c.key, res, err}
+			}
+		}()
 	}
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
 	wg.Wait()
 	close(outs)
 	results := map[string]*accel.Result{}
@@ -133,26 +144,39 @@ func runCells(o Options, cells []cell) (map[string]*accel.Result, error) {
 	return results, nil
 }
 
+// countCall is a single-flight slot for one (graph, schedule) golden
+// count: the first caller mines, every concurrent caller for the same
+// key blocks on the same once instead of duplicating the mine.
+type countCall struct {
+	once sync.Once
+	val  int64
+}
+
 var (
 	countMu    sync.Mutex
-	countCache = map[string]int64{}
+	countCache = map[string]*countCall{}
+	// countComputes counts actual golden mines (test hook for the
+	// single-flight property).
+	countComputes int64
 )
 
 // expectedCount returns the software miner's embedding count for a
-// (graph, schedule) pair, cached across cells.
-func expectedCount(g *graph.Graph, s *pattern.Schedule) int64 {
+// (graph, schedule) pair, computed once per key by the parallel miner
+// and cached across cells.
+func expectedCount(g *graph.Graph, s *pattern.Schedule, workers int) int64 {
 	key := fmt.Sprintf("%p/%s", g, s.Name)
 	countMu.Lock()
-	if v, ok := countCache[key]; ok {
-		countMu.Unlock()
-		return v
+	c := countCache[key]
+	if c == nil {
+		c = new(countCall)
+		countCache[key] = c
 	}
 	countMu.Unlock()
-	v := mine.Count(g, s)
-	countMu.Lock()
-	countCache[key] = v
-	countMu.Unlock()
-	return v
+	c.once.Do(func() {
+		atomic.AddInt64(&countComputes, 1)
+		c.val = mine.ParallelCount(g, s, workers).Embeddings
+	})
+	return c.val
 }
 
 func runOne(o Options, c cell) (*accel.Result, error) {
@@ -165,7 +189,7 @@ func runOne(o Options, c cell) (*accel.Result, error) {
 		return nil, err
 	}
 	if !o.SkipVerify {
-		want := expectedCount(c.g, c.s)
+		want := expectedCount(c.g, c.s, o.workers())
 		if res.Embeddings != want {
 			return nil, fmt.Errorf("count mismatch: sim=%d software=%d", res.Embeddings, want)
 		}

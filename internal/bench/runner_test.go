@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+)
+
+// TestExpectedCountSingleFlight pins the stampede fix: many concurrent
+// cells asking for the same (graph, schedule) golden count must trigger
+// exactly one mine.
+func TestExpectedCountSingleFlight(t *testing.T) {
+	g := gen.RMAT(256, 1500, 0.6, 0.15, 0.15, 31)
+	s, err := pattern.Build(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := atomic.LoadInt64(&countComputes)
+	const callers = 32
+	vals := make([]int64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i] = expectedCount(g, s, 2)
+		}(i)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt64(&countComputes) - before; got != 1 {
+		t.Fatalf("expectedCount mined %d times for one key, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("inconsistent cached counts: %d vs %d", vals[i], vals[0])
+		}
+	}
+	// A different schedule over the same graph is a distinct key.
+	s2, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectedCount(g, s2, 2)
+	if got := atomic.LoadInt64(&countComputes) - before; got != 2 {
+		t.Fatalf("second key mined %d times total, want 2", got)
+	}
+	// Repeat calls stay cached.
+	expectedCount(g, s, 2)
+	expectedCount(g, s2, 2)
+	if got := atomic.LoadInt64(&countComputes) - before; got != 2 {
+		t.Fatalf("cache re-mined: %d computes, want 2", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex. Graphs in this repository are bounded by
@@ -31,6 +32,12 @@ type Graph struct {
 	offsets   []int64 // len = n+1; neighbor range of v is [offsets[v], offsets[v+1])
 	neighbors []VertexID
 	maxDegree int
+
+	// hub caches the lazily built, shared HubIndex (see hubindex.go).
+	// CSR fields above stay immutable; only this cache is guarded.
+	hubMu    sync.Mutex
+	hub      *HubIndex
+	hubBuilt bool
 }
 
 // New builds a Graph from an edge list. Self loops and duplicate edges are

@@ -1,0 +1,162 @@
+package mine
+
+import (
+	"reflect"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/graph"
+	"shogun/internal/pattern"
+)
+
+// runBaseline mines with the hybrid kernel layer disabled, reproducing
+// the seed merge/gallop-only miner.
+func runBaseline(g *graph.Graph, s *pattern.Schedule) *Result {
+	m := NewMiner(g, s)
+	m.SetHybridKernels(false)
+	return m.Run()
+}
+
+// TestHybridMatchesBaselineExactly is the central invariant of the
+// hybrid kernel layer: switching kernels must not change any reported
+// number — embeddings, per-depth task counts, intermediate-line
+// accounting, or set-op element accounting.
+func TestHybridMatchesBaselineExactly(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat-skewed": gen.RMAT(1<<10, 9000, 0.45, 0.22, 0.22, 106),
+		"rmat-hubby":  gen.RMAT(1<<9, 5000, 0.62, 0.14, 0.14, 42),
+		"plc":         gen.PowerLawCluster(600, 6, 0.6, 17),
+		"near-reg":    gen.NearRegular(600, 9, 5),
+	}
+	patterns := []pattern.Pattern{
+		pattern.Triangle(), pattern.FourClique(), pattern.TailedTriangle(),
+		pattern.Diamond(), pattern.FourCycle(), pattern.House(),
+	}
+	for gname, g := range graphs {
+		for _, p := range patterns {
+			for _, induced := range []bool{false, true} {
+				s, err := pattern.BuildWith(p, pattern.BuildOptions{Induced: induced})
+				if err != nil {
+					t.Fatal(err)
+				}
+				hyb := NewMiner(g, s).Run()
+				base := runBaseline(g, s)
+				if hyb.Embeddings != base.Embeddings {
+					t.Errorf("%s/%s: hybrid %d != baseline %d embeddings", gname, s.Name, hyb.Embeddings, base.Embeddings)
+				}
+				if !reflect.DeepEqual(hyb.TasksPerDepth, base.TasksPerDepth) {
+					t.Errorf("%s/%s: TasksPerDepth %v != %v", gname, s.Name, hyb.TasksPerDepth, base.TasksPerDepth)
+				}
+				if !reflect.DeepEqual(hyb.IntermediateLinesPerDepth, base.IntermediateLinesPerDepth) {
+					t.Errorf("%s/%s: IntermediateLinesPerDepth %v != %v", gname, s.Name, hyb.IntermediateLinesPerDepth, base.IntermediateLinesPerDepth)
+				}
+				if hyb.SetOpElements != base.SetOpElements {
+					t.Errorf("%s/%s: SetOpElements %d != %d", gname, s.Name, hyb.SetOpElements, base.SetOpElements)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridUsesBitmapKernels pins that the dispatcher actually selects
+// bitmap kernels on a hub-heavy graph (otherwise the layer is dead code).
+func TestHybridUsesBitmapKernels(t *testing.T) {
+	g := gen.RMAT(1<<11, 24000, 0.55, 0.17, 0.17, 105)
+	if g.HubIndex() == nil {
+		t.Fatal("skewed R-MAT analogue built no hub index")
+	}
+	s, err := pattern.Build(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMiner(g, s)
+	m.Run()
+	if st := m.KernelStats(); st.BitmapOps == 0 {
+		t.Fatalf("no bitmap kernels selected on a hubby graph: %+v", st)
+	}
+	// Disabled miner must select none.
+	m2 := NewMiner(g, s)
+	m2.SetHybridKernels(false)
+	m2.Run()
+	if st := m2.KernelStats(); st.BitmapOps != 0 {
+		t.Fatalf("baseline miner used bitmap kernels: %+v", st)
+	}
+}
+
+// TestHybridVisitorPathAgrees drives the visitor (materializing) path
+// with hybrid kernels on a graph with hubs.
+func TestHybridVisitorPathAgrees(t *testing.T) {
+	g := gen.RMAT(512, 6000, 0.6, 0.15, 0.15, 9)
+	s, err := pattern.Build(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visits int64
+	m := NewMiner(g, s)
+	m.SetVisitor(func(match []graph.VertexID) {
+		visits++
+		for i := 0; i < len(match); i++ {
+			for j := i + 1; j < len(match); j++ {
+				if match[i] == match[j] {
+					t.Fatalf("non-injective embedding %v", match)
+				}
+			}
+		}
+	})
+	res := m.Run()
+	if visits != res.Embeddings {
+		t.Fatalf("visitor saw %d embeddings, result says %d", visits, res.Embeddings)
+	}
+	if want := runBaseline(g, s).Embeddings; res.Embeddings != want {
+		t.Fatalf("visitor-path count %d != baseline %d", res.Embeddings, want)
+	}
+}
+
+// TestGuidedSchedulingMatchesSerial sweeps worker counts (including ones
+// that don't divide the vertex count) over the guided self-scheduling
+// loop; counts and statistics must be exact for each.
+func TestGuidedSchedulingMatchesSerial(t *testing.T) {
+	g := gen.RMAT(1<<10, 6000, 0.6, 0.15, 0.15, 13)
+	s, err := pattern.Build(pattern.FourClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewMiner(g, s).Run()
+	for _, workers := range []int{2, 3, 5, 8, 16, 1 << 10} {
+		par := ParallelCount(g, s, workers)
+		if par.Embeddings != serial.Embeddings {
+			t.Errorf("workers=%d: %d != %d embeddings", workers, par.Embeddings, serial.Embeddings)
+		}
+		if !reflect.DeepEqual(par.TasksPerDepth, serial.TasksPerDepth) {
+			t.Errorf("workers=%d: TasksPerDepth %v != %v", workers, par.TasksPerDepth, serial.TasksPerDepth)
+		}
+		if par.SetOpElements != serial.SetOpElements {
+			t.Errorf("workers=%d: SetOpElements %d != %d", workers, par.SetOpElements, serial.SetOpElements)
+		}
+	}
+}
+
+func TestGuidedChunkBounds(t *testing.T) {
+	cases := []struct {
+		remaining, workers, want int64
+	}{
+		{10000, 8, maxRootChunk},                        // capped early
+		{100, 8, minRootChunk},                          // floor near the tail
+		{maxRootChunk * guidedDivisor, 1, maxRootChunk}, // exactly at the cap
+		{1, 64, minRootChunk},                           // never zero
+	}
+	for _, c := range cases {
+		if got := guidedChunk(c.remaining, c.workers); got != c.want {
+			t.Errorf("guidedChunk(%d,%d) = %d, want %d", c.remaining, c.workers, got, c.want)
+		}
+	}
+	// Chunks must decrease (weakly) as the queue drains.
+	prev := int64(maxRootChunk)
+	for remaining := int64(4096); remaining > 0; remaining -= 64 {
+		c := guidedChunk(remaining, 8)
+		if c > prev {
+			t.Fatalf("chunk grew from %d to %d at remaining=%d", prev, c, remaining)
+		}
+		prev = c
+	}
+}

@@ -73,6 +73,8 @@ type Miner struct {
 	scratch2 []graph.VertexID
 	visitor  Visitor
 	res      Result
+	// kern is the hybrid set-kernel context (see kernels.go).
+	kern kernelContext
 }
 
 // NewMiner creates a miner for schedule s over graph g.
@@ -91,6 +93,7 @@ func NewMiner(g *graph.Graph, s *pattern.Schedule) *Miner {
 	m.scratch2 = make([]graph.VertexID, 0, g.MaxDegree())
 	m.res.TasksPerDepth = make([]int64, n)
 	m.res.IntermediateLinesPerDepth = make([]int64, n)
+	m.initKernels()
 	return m
 }
 
@@ -116,39 +119,38 @@ func (m *Miner) RunRoot(root graph.VertexID) {
 // Result returns the statistics accumulated so far.
 func (m *Miner) Result() *Result { return &m.res }
 
-// resolve returns the set named by ref given the current partial
-// embedding. Neighbor references read CSR adjacency; stored references
-// read a previously materialized candidate set.
-func (m *Miner) resolve(ref pattern.SetRef) []graph.VertexID {
-	if ref.Kind == pattern.RefNeighbor {
-		return m.g.Neighbors(m.matched[ref.Pos])
-	}
-	return m.sets[ref.Pos]
-}
-
 // computeCandidates evaluates the plan for position d, leaving the result
 // in m.sets[d], and returns it. It also accrues the task-level statistics
 // for the task at position d-1 (which is the task performing this work).
+// Set operations route through the kernel dispatcher, which picks merge,
+// gallop, or bitmap per operand pair; SetOpElements deliberately counts
+// the logical elements of both inputs regardless of the kernel chosen, so
+// the statistic is kernel-independent.
 func (m *Miner) computeCandidates(d int) []graph.VertexID {
 	plan := &m.s.Plans[d]
-	base := m.resolve(plan.Base)
+	m.invalidateStoredBits(d)
+	base := m.operand(plan.Base)
 	if plan.Base.Kind == pattern.RefStored {
-		m.res.IntermediateLinesPerDepth[d-1] += int64(setops.Lines(len(base)))
+		m.res.IntermediateLinesPerDepth[d-1] += int64(setops.Lines(len(base.List)))
 	}
 	if len(plan.Steps) == 0 {
 		// Alias plan: the candidate set equals an existing set.
 		// Materialize into sets[d], mirroring the hardware, which
-		// re-stores the set under a fresh address token.
-		m.sets[d] = append(m.sets[d][:0], base...)
+		// re-stores the set under a fresh address token. The copy keeps
+		// the original's bitset view (hub or alias bits are stable).
+		m.sets[d] = append(m.sets[d][:0], base.List...)
+		if m.kern.enabled {
+			m.kern.aliasBits[d] = base.Bits
+		}
 		return m.sets[d]
 	}
 	cur := base
 	for i, op := range plan.Steps {
-		operand := m.resolve(op.Ref)
+		operand := m.operand(op.Ref)
 		if op.Ref.Kind == pattern.RefStored {
-			m.res.IntermediateLinesPerDepth[d-1] += int64(setops.Lines(len(operand)))
+			m.res.IntermediateLinesPerDepth[d-1] += int64(setops.Lines(len(operand.List)))
 		}
-		m.res.SetOpElements += int64(len(cur) + len(operand))
+		m.res.SetOpElements += int64(len(cur.List) + len(operand.List))
 		// Alternate between two scratch buffers for intermediate fold
 		// steps so no step reads and writes the same backing array;
 		// the final step always lands in sets[d] (whose array is never
@@ -164,9 +166,9 @@ func (m *Miner) computeCandidates(d int) []graph.VertexID {
 			dst = m.scratch2[:0]
 		}
 		if op.Sub {
-			dst = setops.Subtract(dst, cur, operand)
+			dst = m.kern.disp.Subtract(dst, cur, operand)
 		} else {
-			dst = setops.Intersect(dst, cur, operand)
+			dst = m.kern.disp.Intersect(dst, cur, operand)
 		}
 		switch {
 		case last:
@@ -176,7 +178,7 @@ func (m *Miner) computeCandidates(d int) []graph.VertexID {
 		default:
 			m.scratch2 = dst
 		}
-		cur = dst
+		cur = setops.Operand{List: dst}
 	}
 	return m.sets[d]
 }
@@ -206,13 +208,22 @@ func (m *Miner) isDistinct(d int, v graph.VertexID) bool {
 // extend matches position d against the current partial embedding. The
 // caller has filled matched[0..d-1].
 func (m *Miner) extend(d int) {
+	last := d == m.s.Depth()-1
+	if last && m.visitor == nil && m.kern.enabled {
+		// Counting-only leaf: fold and count through the kernel
+		// dispatcher without materializing the final candidate set.
+		count := m.countLeaf(d)
+		m.res.TasksPerDepth[d] += count
+		m.res.Embeddings += count
+		return
+	}
 	set := m.computeCandidates(d)
 	cands := m.candidatesFor(d, set)
-	last := d == m.s.Depth()-1
 	if last {
 		if m.visitor == nil {
-			// Counting only: all bounded candidates match except the
-			// (few) already-matched vertices, found by binary search.
+			// Counting only (hybrid kernels disabled): all bounded
+			// candidates match except the (few) already-matched
+			// vertices, found by binary search.
 			count := int64(len(cands))
 			for _, j := range m.s.Plans[d].Distinct {
 				if setops.Contains(cands, m.matched[j]) {

@@ -9,10 +9,34 @@ import (
 	"shogun/internal/pattern"
 )
 
+// Guided-scheduling chunk bounds: chunks start at maxRootChunk (half the
+// old fixed size, so the expensive hub-heavy low-ID roots of R-MAT-style
+// graphs spread across at least twice as many workers) and shrink toward
+// minRootChunk as the root queue drains, keeping tail imbalance small.
+const (
+	maxRootChunk  = 32
+	minRootChunk  = 4
+	guidedDivisor = 4 // chunk ≈ remaining/(guidedDivisor·workers)
+)
+
+// guidedChunk picks the next chunk size for a guided self-scheduling
+// loop given the roots remaining.
+func guidedChunk(remaining, workers int64) int64 {
+	c := remaining / (guidedDivisor * workers)
+	if c < minRootChunk {
+		return minRootChunk
+	}
+	if c > maxRootChunk {
+		return maxRootChunk
+	}
+	return c
+}
+
 // ParallelCount mines g with `workers` goroutines (0 = GOMAXPROCS), each
-// running an independent Miner over a dynamically shared root queue, and
-// returns the merged result. Statistics are exact; per-depth slices are
-// summed across workers.
+// running an independent Miner over a dynamically shared root queue with
+// guided self-scheduling (decreasing chunk sizes), and returns the merged
+// result. Statistics are exact; per-depth slices are summed across
+// workers.
 func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,7 +50,6 @@ func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
 	}
 
 	var cursor int64
-	const chunk = 64
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
@@ -35,11 +58,20 @@ func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
 			defer wg.Done()
 			m := NewMiner(g, s)
 			for {
-				base := atomic.AddInt64(&cursor, chunk) - chunk
+				// The chunk size is computed from a possibly stale
+				// cursor read; correctness only depends on the
+				// atomic Add, which hands every worker a disjoint
+				// [end-chunk, end) range.
+				remaining := int64(n) - atomic.LoadInt64(&cursor)
+				if remaining <= 0 {
+					break
+				}
+				chunk := guidedChunk(remaining, int64(workers))
+				end := atomic.AddInt64(&cursor, chunk)
+				base := end - chunk
 				if base >= int64(n) {
 					break
 				}
-				end := base + chunk
 				if end > int64(n) {
 					end = int64(n)
 				}
