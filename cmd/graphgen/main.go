@@ -46,6 +46,27 @@ func main() {
 func run(kind, name string, n, m, k int, a, b, c, p, alpha float64, maxDeg int, seed int64, out string, binary, stats bool) error {
 	var g *graph.Graph
 	var err error
+	// Validate up front so bad flags produce a CLI error, not the
+	// generators' documented boundary panic.
+	switch kind {
+	case "rmat":
+		err = gen.ValidateRMAT(n, m, a, b, c)
+	case "er":
+		err = gen.ValidateErdosRenyi(n, m)
+	case "ba":
+		err = gen.ValidateBarabasiAlbert(n, k)
+	case "plc":
+		err = gen.ValidatePowerLawCluster(n, k, p)
+	case "nr":
+		err = gen.ValidateNearRegular(n, k)
+	case "ws":
+		err = gen.ValidateWattsStrogatz(n, k, p)
+	case "chunglu":
+		err = gen.ValidateChungLu(n, m, alpha, maxDeg)
+	}
+	if err != nil {
+		return err
+	}
 	switch kind {
 	case "rmat":
 		g = gen.RMAT(n, m, a, b, c, seed)

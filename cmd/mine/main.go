@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"shogun/internal/datasets"
@@ -31,13 +35,17 @@ func main() {
 		schedule = flag.Bool("schedule", false, "print the generated schedule and exit")
 	)
 	flag.Parse()
-	if err := run(*dataset, *graphArg, *patName, *list, *census, *workers, *schedule); err != nil {
+	// SIGINT/SIGTERM cancel the mining workers between root chunks and
+	// the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *dataset, *graphArg, *patName, *list, *census, *workers, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "mine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, graphArg, patName string, list, census, workers int, scheduleOnly bool) error {
+func run(ctx context.Context, dataset, graphArg, patName string, list, census, workers int, scheduleOnly bool) error {
 	if census > 0 {
 		return runCensus(dataset, graphArg, census, workers)
 	}
@@ -71,18 +79,28 @@ func run(dataset, graphArg, patName string, list, census, workers int, scheduleO
 		return err
 	}
 
-	m := mine.NewMiner(g, s)
-	printed := 0
+	var res *mine.Result
+	start := time.Now()
 	if list > 0 {
+		// Embedding listing needs the sequential visitor-driven miner.
+		m := mine.NewMiner(g, s)
+		printed := 0
 		m.SetVisitor(func(match []graph.VertexID) {
 			if printed < list {
 				fmt.Printf("embedding %v\n", match)
 				printed++
 			}
 		})
+		res = m.Run()
+	} else {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		res, err = mine.ParallelCountContext(ctx, g, s, workers)
+		if err != nil {
+			return err
+		}
 	}
-	start := time.Now()
-	res := m.Run()
 	elapsed := time.Since(start)
 
 	fmt.Printf("pattern:    %s\n", s.Name)

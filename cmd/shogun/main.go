@@ -9,17 +9,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"shogun/internal/accel"
 	"shogun/internal/datasets"
 	"shogun/internal/graph"
 	"shogun/internal/mine"
 	"shogun/internal/pattern"
+	"shogun/internal/sim"
 	"shogun/internal/trace"
 )
 
@@ -42,15 +48,30 @@ func main() {
 		dumpCfg  = flag.Bool("dumpconfig", false, "print the effective config as JSON and exit")
 		traceOut = flag.String("trace", "", "write per-task JSONL trace to file")
 		verbose  = flag.Bool("v", false, "print extended statistics")
+		deadline = flag.Int64("deadline", 0, "abort after this many simulated cycles (0 = none)")
+		maxEv    = flag.Int64("maxevents", 0, "abort after this many simulation events (0 = none)")
+		maxWall  = flag.Duration("maxwall", 0, "abort after this much wall-clock time (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *traceOut, *cfgPath, *dumpCfg); err != nil {
+	// SIGINT/SIGTERM cancel the simulation at the next watchdog poll;
+	// the run loop flushes a diagnostic snapshot and exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *traceOut, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall); err != nil {
 		fmt.Fprintln(os.Stderr, "shogun:", err)
+		var inv *sim.InvariantError
+		var dead *sim.DeadlockError
+		switch {
+		case errors.As(err, &inv):
+			fmt.Fprintln(os.Stderr, inv.Details())
+		case errors.As(err, &dead):
+			fmt.Fprintln(os.Stderr, dead.Details())
+		}
 		os.Exit(1)
 	}
 }
 
-func run(dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose bool, traceOut, cfgPath string, dumpCfg bool) error {
+func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose bool, traceOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration) error {
 	var g *graph.Graph
 	var err error
 	switch {
@@ -99,6 +120,15 @@ func run(dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, toke
 	}
 	cfg.EnableSplitting = split
 	cfg.EnableMerging = merge
+	if deadline > 0 {
+		cfg.Deadline = sim.Time(deadline)
+	}
+	if maxEvents > 0 {
+		cfg.MaxEvents = maxEvents
+	}
+	if maxWall > 0 {
+		cfg.MaxWall = maxWall
+	}
 
 	summary := trace.NewSummary()
 	timeline := trace.NewTimeline()
@@ -128,8 +158,13 @@ func run(dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, toke
 	if err != nil {
 		return err
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(ctx)
 	if err != nil {
+		if errors.Is(err, sim.ErrCancelled) {
+			// Flush partial progress before exiting non-zero.
+			eng := a.Engine()
+			fmt.Printf("\ninterrupted at cycle %d after %d events\n", int64(eng.Now()), eng.Processed)
+		}
 		return err
 	}
 

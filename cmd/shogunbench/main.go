@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"shogun/internal/bench"
 )
@@ -30,6 +34,8 @@ func main() {
 		html    = flag.String("html", "", "run all experiments and write a self-contained HTML report")
 		check   = flag.String("check", "", "run all experiments and compare against a JSON baseline")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		cellTO  = flag.Duration("celltimeout", 0, "wall-clock budget per grid cell (0 = none)")
+		cellEv  = flag.Int64("cellevents", 0, "event budget per grid cell (0 = none)")
 	)
 	flag.Parse()
 
@@ -40,41 +46,49 @@ func main() {
 		return
 	}
 
-	o := bench.Options{Quick: *quick, Workers: *workers}
+	// SIGINT/SIGTERM cancel the cell workers between cells; completed
+	// cells keep their results and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	o := bench.Options{Quick: *quick, Workers: *workers, Ctx: ctx, CellTimeout: *cellTO, CellMaxEvents: *cellEv}
 	if *verbose {
 		o.Log = os.Stderr
+	}
+
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "shogunbench: interrupted; partial results above")
+		}
+		fmt.Fprintln(os.Stderr, "shogunbench:", err)
+		os.Exit(1)
 	}
 
 	if *save != "" || *check != "" || *html != "" {
 		tables, err := bench.CollectAll(o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "shogunbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if *save != "" {
 			if err := bench.SaveBaseline(*save, tables); err != nil {
-				fmt.Fprintln(os.Stderr, "shogunbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("baseline saved: %s (%d tables)\n", *save, len(tables))
 		}
 		if *check != "" {
 			if err := bench.CheckBaseline(*check, tables); err != nil {
-				fmt.Fprintln(os.Stderr, "shogunbench: REGRESSION:", err)
-				os.Exit(1)
+				fail(fmt.Errorf("REGRESSION: %w", err))
 			}
 			fmt.Printf("baseline check passed: %d tables match %s\n", len(tables), *check)
 		}
 		if *html != "" {
 			f, err := os.Create(*html)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "shogunbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			defer f.Close()
 			if err := bench.RenderHTML(f, tables); err != nil {
-				fmt.Fprintln(os.Stderr, "shogunbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("HTML report written: %s\n", *html)
 		}
@@ -83,26 +97,22 @@ func main() {
 
 	if *exp == "" {
 		if err := bench.RunAllFormat(o, os.Stdout, *format); err != nil {
-			fmt.Fprintln(os.Stderr, "shogunbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 	e, err := bench.Lookup(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shogunbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	tables, err := e.Run(o)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shogunbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	for _, t := range tables {
 		out, err := t.Format(*format)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "shogunbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(out)
 		if *chart >= 0 {

@@ -1,0 +1,108 @@
+package shogun
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSimulateContextCancelled pins the acceptance criterion that a
+// cancelled context stops SimulateContext within one watchdog poll
+// interval: with poll = 256 events, the engine may process at most one
+// more poll window after cancellation before returning.
+func TestSimulateContextCancelled(t *testing.T) {
+	g := GenerateRMAT(1<<11, 12000, 0.57, 0.17, 0.17, 21)
+	s, err := BuildSchedule(Triangle(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(SchemeShogun)
+	cfg.WatchdogPoll = 256
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SimulateContext(ctx, g, s, cfg)
+	if !errors.Is(err, ErrSimCancelled) {
+		t.Fatalf("err = %v, want ErrSimCancelled", err)
+	}
+	if res != nil {
+		t.Fatal("result returned alongside cancellation")
+	}
+	// A mid-run cancellation is observed within ~one poll interval.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	if _, err := SimulateContext(ctx2, g, s, cfg); !errors.Is(err, ErrSimCancelled) {
+		// The graph is small enough that the run may finish inside the
+		// timeout on a fast machine — that is also a pass.
+		if err != nil {
+			t.Fatalf("err = %v, want ErrSimCancelled or success", err)
+		}
+	} else if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to be observed", elapsed)
+	}
+}
+
+// TestSimulateContextBudgets pins the watchdog budgets on the public
+// config surface.
+func TestSimulateContextBudgets(t *testing.T) {
+	g := GenerateRMAT(1<<10, 8000, 0.57, 0.17, 0.17, 23)
+	s, err := BuildSchedule(Triangle(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(SchemeShogun)
+	cfg.MaxEvents = 200
+	if _, err := SimulateContext(context.Background(), g, s, cfg); !errors.Is(err, ErrSimEventBudget) {
+		t.Fatalf("err = %v, want ErrSimEventBudget", err)
+	}
+	cfg = DefaultSimConfig(SchemeShogun)
+	cfg.Deadline = 100
+	if _, err := SimulateContext(context.Background(), g, s, cfg); !errors.Is(err, ErrSimDeadline) {
+		t.Fatalf("err = %v, want ErrSimDeadline", err)
+	}
+}
+
+// TestCountContext pins the governed software miner on the public API.
+func TestCountContext(t *testing.T) {
+	g := GenerateRMAT(1<<10, 8000, 0.57, 0.17, 0.17, 25)
+	s, err := BuildSchedule(Triangle(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Count(g, s)
+	got, err := CountContext(context.Background(), g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("CountContext = %d, Count = %d", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountContext(ctx, g, s); !errors.Is(err, ErrSimCancelled) {
+		t.Fatalf("err = %v, want ErrSimCancelled", err)
+	}
+}
+
+// TestValidateGenerators pins the public validation surface.
+func TestValidateGenerators(t *testing.T) {
+	if err := ValidateRMAT(0, 10, 0.6, 0.15, 0.15); err == nil {
+		t.Fatal("ValidateRMAT accepted n=0")
+	}
+	if err := ValidateRMAT(16, 10, 0.6, 0.3, 0.3); err == nil {
+		t.Fatal("ValidateRMAT accepted a+b+c >= 1")
+	}
+	if err := ValidateBarabasiAlbert(10, 0); err == nil {
+		t.Fatal("ValidateBarabasiAlbert accepted k=0")
+	}
+	if err := ValidateErdosRenyi(10, 10); err != nil {
+		t.Fatalf("ValidateErdosRenyi rejected valid params: %v", err)
+	}
+	if err := ValidatePowerLawCluster(10, 2, 2); err == nil {
+		t.Fatal("ValidatePowerLawCluster accepted p=2")
+	}
+	if err := ValidateNearRegular(10, 4); err != nil {
+		t.Fatalf("ValidateNearRegular rejected valid params: %v", err)
+	}
+}

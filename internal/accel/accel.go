@@ -7,7 +7,10 @@
 package accel
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"shogun/internal/core"
 	"shogun/internal/graph"
@@ -58,10 +61,21 @@ type Config struct {
 	BalancePeriod sim.Time
 	// MergePeriod is the merging-decision cadence.
 	MergePeriod sim.Time
-	// Deadline aborts runaway simulations (0 = none).
+	// Deadline aborts runaway simulations (0 = none, simulated cycles).
 	Deadline sim.Time
+	// MaxEvents aborts runs that process more than this many events
+	// (0 = none) — the event-count watchdog budget.
+	MaxEvents int64
+	// MaxWall aborts runs exceeding this real elapsed time (0 = none).
+	MaxWall time.Duration
+	// WatchdogPoll is the cooperative-checkpoint interval in events for
+	// context cancellation and wall-clock checks (0 = sim default).
+	WatchdogPoll int64
 	// Tracer, when set, receives one event per completed task on any PE.
 	Tracer trace.Tracer
+	// Perturb, when set, jitters FU/DRAM/NoC pool service times (the
+	// chaos harness's fault-injection hook; not serialized).
+	Perturb sim.Perturber `json:"-"`
 	// ForceConservative pins Shogun's conservative mode on and disables
 	// the locality monitor (ablation knob).
 	ForceConservative bool
@@ -189,7 +203,20 @@ func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) 
 		a.pes = append(a.pes, p)
 		a.toks = append(a.toks, toks)
 	}
+	if cfg.Perturb != nil {
+		a.installPerturb(cfg.Perturb)
+	}
 	return a, nil
+}
+
+// installPerturb wires a service-time perturber into every contended
+// pool the chaos harness targets: per-PE FUs, DRAM channels, NoC links.
+func (a *Accelerator) installPerturb(pr sim.Perturber) {
+	for _, p := range a.pes {
+		p.SetPerturb(pr)
+	}
+	a.dram.SetPerturb(pr)
+	a.noc.SetPerturb(pr)
 }
 
 func (a *Accelerator) buildPolicy(p *pe.PE, toks *policy.Tokens, roots policy.RootSource) (pe.Policy, error) {
@@ -263,29 +290,97 @@ type Result struct {
 	Events int64
 }
 
-// Run simulates to completion and returns the result. It fails if the
-// event queue drains while work remains (a scheduling deadlock — a
-// modeling bug worth failing loudly on) or the deadline is exceeded.
+// Run simulates to completion and returns the result. It is
+// RunContext with a background context; see there for the failure modes.
 func (a *Accelerator) Run() (*Result, error) {
+	return a.RunContext(context.Background())
+}
+
+// RunContext simulates to completion under the run governor. It fails
+// with a wrapped sim sentinel when a watchdog budget (Deadline,
+// MaxEvents, MaxWall) trips or ctx is cancelled at a cooperative
+// checkpoint; with *sim.DeadlockError (carrying a resource/FSM
+// snapshot) when the event queue drains while work remains; and any
+// internal invariant panic is contained here and returned as a
+// *sim.InvariantError with the diagnostic snapshot taken at recovery.
+func (a *Accelerator) RunContext(ctx context.Context) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &sim.InvariantError{
+				Op:         "accel: run",
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+				Snapshot:   a.snapshot(),
+			}
+		}
+	}()
 	for _, p := range a.pes {
 		p.Kick()
 	}
 	a.armMerge()
-	if a.cfg.Deadline > 0 {
-		if !a.eng.RunUntil(a.cfg.Deadline) {
-			// drained normally
-		} else {
-			return nil, fmt.Errorf("accel: deadline %d exceeded", a.cfg.Deadline)
-		}
-	} else {
-		a.eng.Run()
+	b := sim.Budget{
+		MaxEvents:  a.cfg.MaxEvents,
+		Deadline:   a.cfg.Deadline,
+		MaxWall:    a.cfg.MaxWall,
+		PollEvents: a.cfg.WatchdogPoll,
 	}
-	for i, p := range a.pes {
+	if err := a.eng.RunGoverned(ctx, b); err != nil {
+		return nil, fmt.Errorf("accel: %w", err)
+	}
+	for _, p := range a.pes {
 		if p.HasWork() {
-			return nil, fmt.Errorf("accel: PE %d stalled with pending work (scheme %s)", i, a.cfg.Scheme)
+			return nil, &sim.DeadlockError{Op: "accel: run", Snapshot: a.snapshot()}
 		}
 	}
 	return a.collect(), nil
+}
+
+// snapshot captures the diagnostic state attached to invariant and
+// deadlock errors: engine progress, every PE's slot/SPM semaphores with
+// their waiter queues, and per-PE notes covering the FSM census and
+// address-token occupancy.
+func (a *Accelerator) snapshot() *sim.Snapshot {
+	s := a.eng.Snapshot()
+	for i, p := range a.pes {
+		s.Resources = append(s.Resources, p.Slots.Snap(), p.SPM.Snap())
+		note := fmt.Sprintf("pe%d: idle=%t hasWork=%t conservative=%t lastActive=%d tasks=%d tokens=%v",
+			i, p.Idle(), p.HasWork(), p.Conservative(), p.LastActive,
+			p.TasksExecuted.Total, a.toks[i].InUseByDepth())
+		if t, ok := p.Policy().(*core.Tree); ok {
+			note += " tree{" + t.StateSummary() + "}"
+		}
+		s.Notes = append(s.Notes, note)
+	}
+	return s
+}
+
+// CheckConservation verifies the post-run resource invariants the chaos
+// suite asserts: every execution slot and SPM line released, every
+// address token returned. A non-nil error names each leaked resource.
+func (a *Accelerator) CheckConservation() error {
+	var leaks []string
+	for i, p := range a.pes {
+		if n := p.Slots.InUse(); n != 0 {
+			leaks = append(leaks, fmt.Sprintf("pe%d: %d execution slot(s) held", i, n))
+		}
+		if n := p.Slots.Waiters(); n != 0 {
+			leaks = append(leaks, fmt.Sprintf("pe%d: %d slot waiter(s) stranded", i, n))
+		}
+		if n := p.SPM.InUse(); n != 0 {
+			leaks = append(leaks, fmt.Sprintf("pe%d: %d SPM line(s) held", i, n))
+		}
+		if n := p.SPM.Waiters(); n != 0 {
+			leaks = append(leaks, fmt.Sprintf("pe%d: %d SPM waiter(s) stranded", i, n))
+		}
+		if n := a.toks[i].TotalInUse(); n != 0 {
+			leaks = append(leaks, fmt.Sprintf("pe%d: %d address token(s) held %v", i, n, a.toks[i].InUseByDepth()))
+		}
+	}
+	if leaks == nil {
+		return nil
+	}
+	return fmt.Errorf("accel: resource leak(s) after run: %v", leaks)
 }
 
 func (a *Accelerator) collect() *Result {
@@ -359,6 +454,9 @@ func (a *Accelerator) collect() *Result {
 
 // PEs exposes the PEs (tests, harness).
 func (a *Accelerator) PEs() []*pe.PE { return a.pes }
+
+// Engine exposes the event engine (chaos harness, tests).
+func (a *Accelerator) Engine() *sim.Engine { return a.eng }
 
 // Workload exposes the bound workload.
 func (a *Accelerator) Workload() *task.Workload { return a.w }

@@ -164,6 +164,60 @@ func (a *Accelerator) deliverSplit(helper *pe.PE, htree *core.Tree, rootVertex g
 	})
 }
 
+// ForceSplit carves one task-tree split regardless of the imbalance
+// signal — the chaos harness's fault injection. Unlike balanceCheck it
+// does not require the helper to be idle (a mid-run forced split is the
+// point), so the helper's depth-1 token is acquired FIRST and released
+// if the carve fails; the delivery path is the normal deliverSplit,
+// which retries until the helper can adopt. Reports whether a split was
+// initiated. Only meaningful for the Shogun scheme.
+func (a *Accelerator) ForceSplit() bool {
+	if a.cfg.Scheme != SchemeShogun {
+		return false
+	}
+	now := a.eng.Now()
+	for _, victim := range a.pes {
+		tree, ok := victim.Policy().(*core.Tree)
+		if !ok {
+			continue
+		}
+		root := tree.SplittableRoot()
+		if root == nil {
+			continue
+		}
+		for _, h := range a.pes {
+			if h.ID == victim.ID || a.splitPending[h.ID] {
+				continue
+			}
+			slot, ok := a.toks[h.ID].TryAcquire(1)
+			if !ok {
+				continue
+			}
+			lo, hi, ok := tree.CarveSplit(root, 1)
+			if !ok {
+				a.toks[h.ID].Release(1, slot)
+				return false // this victim's root is not carvable; done
+			}
+			htree := h.Policy().(*core.Tree)
+			cand := append([]graph.VertexID(nil), root.Cand...)
+			rootVertex := root.Vertex
+			spawnLimit := root.SpawnLimit
+			lines := int64(0)
+			if len(cand) > 0 {
+				lines = (int64(len(cand))*4 + mem.LineBytes - 1) / mem.LineBytes
+			}
+			a.noc.Transfer(now, 0)
+			a.noc.Transfer(now, 0)
+			arrive := a.noc.Transfer(now, lines)
+			a.splitPending[h.ID] = true
+			helper := h
+			a.eng.At(arrive, func() { a.deliverSplit(helper, htree, rootVertex, cand, spawnLimit, lo, hi, slot) })
+			return true
+		}
+	}
+	return false
+}
+
 // armMerge starts the periodic merging-decision loop (§4.2) when enabled.
 func (a *Accelerator) armMerge() {
 	if !a.cfg.EnableMerging || a.cfg.Scheme != SchemeShogun || a.mergeArmed {

@@ -79,7 +79,7 @@ func Ablation(o Options) (*Table, error) {
 			cells = append(cells, cell{v.name + ":" + pk.label, g, s, cfg})
 		}
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -95,12 +95,11 @@ func Ablation(o Options) (*Table, error) {
 	for _, v := range variants {
 		row := []string{v.name}
 		for _, pk := range picks {
-			full := results["full:"+pk.label]
-			r := results[v.name+":"+pk.label]
-			row = append(row, f2(float64(full.Cycles)/float64(r.Cycles)))
+			row = append(row, grid.speedup("full:"+pk.label, v.name+":"+pk.label))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("values are speedups relative to the full design; <1.00 means the removed/forced feature was helping")
+	grid.annotate(t)
 	return t, nil
 }

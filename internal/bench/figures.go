@@ -63,27 +63,28 @@ func fig3(o Options, id, ds, wl, metric string, l1KB int, annotate func(*accel.R
 			cell{fmt.Sprintf("parallel-dfs/w%d", w), g, s, cfgL},
 		)
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
-	base := results[fmt.Sprintf("pseudo-dfs/w%d", widths[0])].Cycles
+	base := fmt.Sprintf("pseudo-dfs/w%d", widths[0])
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("Speedup vs task execution width on %s x %s (Fig. 3)", ds, wl),
 		Header: []string{"Width", "pseudo-DFS speedup", metric, "parallel-DFS speedup", metric},
 	}
 	for _, w := range widths {
-		pd := results[fmt.Sprintf("pseudo-dfs/w%d", w)]
-		pl := results[fmt.Sprintf("parallel-dfs/w%d", w)]
+		pd := fmt.Sprintf("pseudo-dfs/w%d", w)
+		pl := fmt.Sprintf("parallel-dfs/w%d", w)
 		t.AddRow(fmt.Sprintf("%d", w),
-			f2(float64(base)/float64(pd.Cycles)), annotate(pd),
-			f2(float64(base)/float64(pl.Cycles)), annotate(pl))
+			grid.speedup(base, pd), grid.metric(pd, annotate),
+			grid.speedup(base, pl), grid.metric(pl, annotate))
 	}
 	t.AddNote("speedups normalized to pseudo-DFS at width %d; 4 PEs", widths[0])
 	if l1KB > 0 {
 		t.AddNote("L1 capacity-scaled to %d KB to match the analogue's intermediate-set-to-cache ratio", l1KB)
 	}
+	grid.annotate(t)
 	return t, nil
 }
 
@@ -114,7 +115,7 @@ func gridCells(o Options, scheme string, mk func(ds, wl string) accel.Config) []
 func Fig9And10(o Options) (*Table, *Table, error) {
 	cells := gridCells(o, "fingers", func(ds, wl string) accel.Config { return baseConfig(accel.SchemePseudoDFS) })
 	cells = append(cells, gridCells(o, "shogun", func(ds, wl string) accel.Config { return baseConfig(accel.SchemeShogun) })...)
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -141,18 +142,19 @@ func Fig9And10(o Options) (*Table, *Table, error) {
 				row10 = append(row10, "excl")
 				continue
 			}
-			f := results["fingers:"+key]
-			s := results["shogun:"+key]
-			sp := float64(f.Cycles) / float64(s.Cycles)
-			speedups = append(speedups, sp)
-			row9 = append(row9, f2(sp))
-			row10 = append(row10, pct(s.IUUtil))
+			if sp, ok := grid.ratio("fingers:"+key, "shogun:"+key); ok {
+				speedups = append(speedups, sp)
+			}
+			row9 = append(row9, grid.speedup("fingers:"+key, "shogun:"+key))
+			row10 = append(row10, grid.metric("shogun:"+key, func(r *accel.Result) string { return pct(r.IUUtil) }))
 		}
 		t9.AddRow(row9...)
 		t10.AddRow(row10...)
 	}
 	t9.AddNote("geomean speedup = %.2fx over %d cases (paper: 1.43x over 47 cases)", Geomean(speedups), len(speedups))
 	t10.AddNote("dividing Shogun IU utilization by the fig9 speedup yields FINGERS utilization (§5.2.1)")
+	grid.annotate(t9)
+	grid.annotate(t10)
 	return t9, t10, nil
 }
 
@@ -181,7 +183,7 @@ func Fig11(o Options) (*Table, error) {
 			cell{"off:" + wl.Name, g, wl.Schedule, cfgOff},
 			cell{"on:" + wl.Name, g, wl.Schedule, cfgOn})
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -195,14 +197,18 @@ func Fig11(o Options) (*Table, error) {
 		if o.Quick && (wl.Name == "5cl" || wl.Name == "4cyc_v") {
 			continue
 		}
-		off := results["off:"+wl.Name]
-		on := results["on:"+wl.Name]
-		imp := float64(off.Cycles)/float64(on.Cycles) - 1
-		imps = append(imps, 1+imp)
-		t.AddRow(wl.Name, fmt.Sprintf("%d", off.Cycles), fmt.Sprintf("%d", on.Cycles),
-			pct(imp), fmt.Sprintf("%d", on.Splits))
+		impStr, splitStr := "fail", "fail"
+		if sp, ok := grid.ratio("off:"+wl.Name, "on:"+wl.Name); ok {
+			imps = append(imps, sp)
+			impStr = pct(sp - 1)
+		}
+		if on := grid.Res("on:" + wl.Name); on != nil {
+			splitStr = fmt.Sprintf("%d", on.Splits)
+		}
+		t.AddRow(wl.Name, grid.cycles("off:"+wl.Name), grid.cycles("on:"+wl.Name), impStr, splitStr)
 	}
 	t.AddNote("geomean improvement = %s (paper: 24%% on wi with 20 PEs)", pct(Geomean(imps)-1))
+	grid.annotate(t)
 	return t, nil
 }
 
@@ -215,7 +221,7 @@ func Fig12(o Options) (*Table, error) {
 		return c
 	}
 	cells := append(gridCells(o, "off", mkOff), gridCells(o, "on", mkOn)...)
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -235,13 +241,15 @@ func Fig12(o Options) (*Table, error) {
 				row = append(row, "excl")
 				continue
 			}
-			sp := float64(results["off:"+key].Cycles) / float64(results["on:"+key].Cycles)
-			all = append(all, sp)
-			row = append(row, f2(sp))
+			if sp, ok := grid.ratio("off:"+key, "on:"+key); ok {
+				all = append(all, sp)
+			}
+			row = append(row, grid.speedup("off:"+key, "on:"+key))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("geomean merging speedup = %.2fx; paper reports merging is most effective on yo and pa", Geomean(all))
+	grid.annotate(t)
 	return t, nil
 }
 
@@ -260,7 +268,7 @@ func Fig13a(o Options) (*Table, error) {
 				cell{fmt.Sprintf("fingers/w%d/%s", w, sc.key), sc.g, sc.s, widthConfig(accel.SchemePseudoDFS, w, 10)})
 		}
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -271,15 +279,28 @@ func Fig13a(o Options) (*Table, error) {
 	}
 	for _, w := range widths {
 		var sF, sS []float64
+		complete := true
 		for _, sc := range subset {
-			sF = append(sF, float64(results[fmt.Sprintf("fingers/w%d/%s", widths[0], sc.key)].Cycles)/
-				float64(results[fmt.Sprintf("fingers/w%d/%s", w, sc.key)].Cycles))
-			sS = append(sS, float64(results[fmt.Sprintf("fingers/w%d/%s", widths[0], sc.key)].Cycles)/
-				float64(results[fmt.Sprintf("shogun/w%d/%s", w, sc.key)].Cycles))
+			base := fmt.Sprintf("fingers/w%d/%s", widths[0], sc.key)
+			if sp, ok := grid.ratio(base, fmt.Sprintf("fingers/w%d/%s", w, sc.key)); ok {
+				sF = append(sF, sp)
+			} else {
+				complete = false
+			}
+			if sp, ok := grid.ratio(base, fmt.Sprintf("shogun/w%d/%s", w, sc.key)); ok {
+				sS = append(sS, sp)
+			} else {
+				complete = false
+			}
 		}
-		t.AddRow(fmt.Sprintf("%d", w), f2(Geomean(sF)), f2(Geomean(sS)))
+		if complete {
+			t.AddRow(fmt.Sprintf("%d", w), f2(Geomean(sF)), f2(Geomean(sS)))
+		} else {
+			t.AddRow(fmt.Sprintf("%d", w), "fail", "fail")
+		}
 	}
 	t.AddNote("normalized to FINGERS at width %d; Shogun scales further via out-of-order scheduling", widths[0])
+	grid.annotate(t)
 	return t, nil
 }
 
@@ -295,7 +316,7 @@ func Fig13b(o Options) (*Table, error) {
 			cells = append(cells, cell{fmt.Sprintf("b%d/%s", b, sc.key), sc.g, sc.s, cfg})
 		}
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -306,13 +327,22 @@ func Fig13b(o Options) (*Table, error) {
 	}
 	for _, b := range bunches {
 		var sp []float64
+		complete := true
 		for _, sc := range subset {
-			sp = append(sp, float64(results[fmt.Sprintf("b%d/%s", bunches[0], sc.key)].Cycles)/
-				float64(results[fmt.Sprintf("b%d/%s", b, sc.key)].Cycles))
+			if r, ok := grid.ratio(fmt.Sprintf("b%d/%s", bunches[0], sc.key), fmt.Sprintf("b%d/%s", b, sc.key)); ok {
+				sp = append(sp, r)
+			} else {
+				complete = false
+			}
 		}
-		t.AddRow(fmt.Sprintf("%d", b), f2(Geomean(sp)))
+		if complete {
+			t.AddRow(fmt.Sprintf("%d", b), f2(Geomean(sp)))
+		} else {
+			t.AddRow(fmt.Sprintf("%d", b), "fail")
+		}
 	}
 	t.AddNote("paper: <10%% difference — Shogun schedules across depths, so bunch count barely matters")
+	grid.annotate(t)
 	return t, nil
 }
 
@@ -363,7 +393,7 @@ func Fig14(o Options) (*Table, error) {
 			}
 		}
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -375,17 +405,18 @@ func Fig14(o Options) (*Table, error) {
 	for _, cse := range cases {
 		for _, cf := range configs {
 			prefix := fmt.Sprintf("%s/%s/%s/", cse[0], cse[1], cf.label)
-			f := results[prefix+string(accel.SchemePseudoDFS)]
-			s := results[prefix+string(accel.SchemeShogun)]
-			p := results[prefix+string(accel.SchemeParallelDFS)]
+			fk := prefix + string(accel.SchemePseudoDFS)
+			sk := prefix + string(accel.SchemeShogun)
+			pk := prefix + string(accel.SchemeParallelDFS)
 			t.AddRow(cse[0]+"-"+cse[1], cf.label,
-				"1.00",
-				f2(float64(f.Cycles)/float64(s.Cycles)),
-				f2(float64(f.Cycles)/float64(p.Cycles)),
-				pct(p.L1HitRate))
+				grid.metric(fk, func(*accel.Result) string { return "1.00" }),
+				grid.speedup(fk, sk),
+				grid.speedup(fk, pk),
+				grid.metric(pk, func(r *accel.Result) string { return pct(r.L1HitRate) }))
 		}
 	}
 	t.AddNote("normalized to FINGERS per row; parallel-DFS lacks a conservative mode and thrashes")
 	t.AddNote("L1 capacity-scaled with the dataset analogues (8 KB ~ the paper's enlarged caches relative to working sets)")
+	grid.annotate(t)
 	return t, nil
 }

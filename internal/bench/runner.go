@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shogun/internal/accel"
 	"shogun/internal/datasets"
@@ -14,6 +17,7 @@ import (
 	"shogun/internal/graph"
 	"shogun/internal/mine"
 	"shogun/internal/pattern"
+	"shogun/internal/sim"
 )
 
 func log(v float64) float64 { return math.Log(v) }
@@ -33,6 +37,22 @@ type Options struct {
 	// software miner (default on; the harness refuses to report numbers
 	// from a simulator that miscounts).
 	SkipVerify bool
+	// Ctx, when non-nil, cancels the whole run: in-flight cells stop at
+	// their next watchdog checkpoint and runCells returns the
+	// cancellation error.
+	Ctx context.Context
+	// CellTimeout bounds each cell's wall-clock time (0 = none); a cell
+	// exceeding it is recorded as failed and the grid continues.
+	CellTimeout time.Duration
+	// CellMaxEvents bounds each cell's simulation event count (0 = none).
+	CellMaxEvents int64
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) workers() int {
@@ -102,10 +122,16 @@ type cell struct {
 }
 
 // runCells executes cells concurrently (each simulation is single-
-// threaded and independent) and returns results keyed by cell key. A
+// threaded and independent) and returns a Grid keyed by cell key. A
 // fixed pool of workers drains a job channel, so full-mode grids never
 // create more goroutines than they can run.
-func runCells(o Options, cells []cell) (map[string]*accel.Result, error) {
+//
+// A failing cell — watchdog abort, verification mismatch, contained
+// invariant panic — does NOT abort the batch: it is recorded in the
+// Grid's failure list (surfaced in the run summary with its key) and
+// the remaining cells complete. The only returned error is whole-run
+// cancellation via Options.Ctx.
+func runCells(o Options, cells []cell) (*Grid, error) {
 	type outcome struct {
 		key string
 		res *accel.Result
@@ -128,20 +154,27 @@ func runCells(o Options, cells []cell) (map[string]*accel.Result, error) {
 			}
 		}()
 	}
+	ctx := o.ctx()
 	for _, c := range cells {
 		jobs <- c
 	}
 	close(jobs)
 	wg.Wait()
 	close(outs)
-	results := map[string]*accel.Result{}
+	grid := &Grid{res: map[string]*accel.Result{}}
 	for out := range outs {
 		if out.err != nil {
-			return nil, fmt.Errorf("bench: cell %s: %w", out.key, out.err)
+			o.logf("  FAILED %-24s %v", out.key, out.err)
+			grid.failures = append(grid.failures, CellFailure{Key: out.key, Err: out.err})
+			continue
 		}
-		results[out.key] = out.res
+		grid.res[out.key] = out.res
 	}
-	return results, nil
+	grid.sortFailures()
+	if err := ctx.Err(); err != nil {
+		return grid, fmt.Errorf("bench: run cancelled: %w", err)
+	}
+	return grid, nil
 }
 
 // countCall is a single-flight slot for one (graph, schedule) golden
@@ -179,12 +212,38 @@ func expectedCount(g *graph.Graph, s *pattern.Schedule, workers int) int64 {
 	return c.val
 }
 
-func runOne(o Options, c cell) (*accel.Result, error) {
-	a, err := accel.New(c.g, c.s, c.cfg)
+// runOne runs a single cell under the run governor: the per-cell
+// watchdog budgets from Options are layered onto the cell's config, the
+// simulation observes Options.Ctx, and any panic escaping the stack
+// below (accelerator build, golden mine, verification) is contained
+// into a *sim.InvariantError so one poisoned cell cannot kill the grid.
+func runOne(o Options, c cell) (res *accel.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(*sim.InvariantError); ok {
+				res, err = nil, ie // e.g. re-raised by the golden miner
+				return
+			}
+			res = nil
+			err = &sim.InvariantError{
+				Op:         "bench: cell " + c.key,
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	cfg := c.cfg
+	if o.CellTimeout > 0 && (cfg.MaxWall == 0 || o.CellTimeout < cfg.MaxWall) {
+		cfg.MaxWall = o.CellTimeout
+	}
+	if o.CellMaxEvents > 0 && (cfg.MaxEvents == 0 || o.CellMaxEvents < cfg.MaxEvents) {
+		cfg.MaxEvents = o.CellMaxEvents
+	}
+	a, err := accel.New(c.g, c.s, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.Run()
+	res, err = a.RunContext(o.ctx())
 	if err != nil {
 		return nil, err
 	}

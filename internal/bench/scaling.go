@@ -33,7 +33,7 @@ func Scaling(o Options) (*Table, error) {
 			cell{fmt.Sprintf("split/%d", n), g, s, cfgSplit},
 		)
 	}
-	results, err := runCells(o, cells)
+	grid, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -42,13 +42,14 @@ func Scaling(o Options) (*Table, error) {
 		Title:  "Strong scaling on wi x 4cl (extension)",
 		Header: []string{"PEs", "FINGERS speedup", "Shogun speedup", "Shogun+split speedup"},
 	}
-	base := results[fmt.Sprintf("fingers/%d", pes[0])].Cycles
+	base := fmt.Sprintf("fingers/%d", pes[0])
 	for _, n := range pes {
 		t.AddRow(fmt.Sprintf("%d", n),
-			f2(float64(base)/float64(results[fmt.Sprintf("fingers/%d", n)].Cycles)),
-			f2(float64(base)/float64(results[fmt.Sprintf("shogun/%d", n)].Cycles)),
-			f2(float64(base)/float64(results[fmt.Sprintf("split/%d", n)].Cycles)))
+			grid.speedup(base, fmt.Sprintf("fingers/%d", n)),
+			grid.speedup(base, fmt.Sprintf("shogun/%d", n)),
+			grid.speedup(base, fmt.Sprintf("split/%d", n)))
 	}
 	t.AddNote("speedups vs FINGERS at %d PE(s); splitting's gap widens as trees per PE shrink", pes[0])
+	grid.annotate(t)
 	return t, nil
 }

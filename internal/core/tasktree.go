@@ -670,6 +670,32 @@ func (t *Tree) CarveSplit(root *task.Node, helpers int) (lo, hi int, ok bool) {
 	return lo, hi, true
 }
 
+// StateSummary renders a one-line FSM census for diagnostic snapshots:
+// live trees, executing entries, and per-state entry counts across all
+// bunches.
+func (t *Tree) StateSummary() string {
+	var byState [4]int
+	entries := 0
+	for d := range t.bunches {
+		for _, b := range t.bunches[d] {
+			for _, e := range b.entries {
+				if e.node != nil {
+					entries++
+					if int(e.state) < len(byState) {
+						byState[e.state]++
+					}
+				}
+			}
+		}
+	}
+	pending := 0
+	for _, q := range t.pendingSpawn {
+		pending += len(q)
+	}
+	return fmt.Sprintf("trees=%d entries=%d ready=%d executing=%d resting=%d quiesced=%d pendingSpawn=%d",
+		len(t.trees), entries, byState[Ready], byState[Executing], byState[Resting], byState[Quiesced], pending)
+}
+
 // DebugString renders the tree occupancy (for tests and the CLI's -v).
 func (t *Tree) DebugString() string {
 	s := ""

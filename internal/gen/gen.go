@@ -18,6 +18,7 @@ import (
 // (duplicates and self loops are dropped by the CSR builder, so the
 // realized edge count can be slightly lower).
 func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	mustValidate(ValidateErdosRenyi(n, m))
 	rng := rand.New(rand.NewSource(seed))
 	edges := make([]graph.Edge, 0, m)
 	for i := 0; i < m; i++ {
@@ -36,9 +37,7 @@ func ErdosRenyi(n, m int, seed int64) *graph.Graph {
 // n is rounded up to the next power of two internally; vertices beyond the
 // requested n are folded back in, preserving skew.
 func RMAT(n, m int, a, b, c float64, seed int64) *graph.Graph {
-	if a+b+c >= 1 {
-		panic("gen: RMAT requires a+b+c < 1")
-	}
+	mustValidate(ValidateRMAT(n, m, a, b, c))
 	rng := rand.New(rand.NewSource(seed))
 	levels := 0
 	for 1<<levels < n {
@@ -71,9 +70,7 @@ func RMAT(n, m int, a, b, c float64, seed int64) *graph.Graph {
 // Produces a power-law tail with moderate skew (AstroPh analogue when
 // combined with triangle closure, see PowerLawCluster).
 func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
-	if k < 1 {
-		panic("gen: BarabasiAlbert requires k >= 1")
-	}
+	mustValidate(ValidateBarabasiAlbert(n, k))
 	rng := rand.New(rand.NewSource(seed))
 	edges := make([]graph.Edge, 0, n*k)
 	// targets holds one entry per edge endpoint, so uniform sampling from
@@ -111,9 +108,7 @@ func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
 // analogue for collaboration networks (AstroPh) whose clique density is
 // much higher than plain BA graphs.
 func PowerLawCluster(n, k int, p float64, seed int64) *graph.Graph {
-	if k < 1 {
-		panic("gen: PowerLawCluster requires k >= 1")
-	}
+	mustValidate(ValidatePowerLawCluster(n, k, p))
 	rng := rand.New(rand.NewSource(seed))
 	adj := make([][]graph.VertexID, n)
 	targets := make([]graph.VertexID, 0, 2*n*k)
@@ -162,6 +157,7 @@ func PowerLawCluster(n, k int, p float64, seed int64) *graph.Graph {
 // heavy tail over many hubs — matching the hub structure of large social
 // graphs like LiveJournal and Orkut at reduced scale.
 func ChungLu(n, m int, alpha float64, maxDeg int, seed int64) *graph.Graph {
+	mustValidate(ValidateChungLu(n, m, alpha, maxDeg))
 	rng := rand.New(rand.NewSource(seed))
 	w := make([]float64, n)
 	var total float64
@@ -210,6 +206,7 @@ func ChungLu(n, m int, alpha float64, maxDeg int, seed int64) *graph.Graph {
 // and low diameter variance make it the Patents analogue (sparse, low
 // degree variance).
 func NearRegular(n, k int, seed int64) *graph.Graph {
+	mustValidate(ValidateNearRegular(n, k))
 	rng := rand.New(rand.NewSource(seed))
 	half := k / 2
 	if half < 1 {
@@ -228,6 +225,7 @@ func NearRegular(n, k int, seed int64) *graph.Graph {
 // WattsStrogatz generates a small-world ring lattice with k neighbors per
 // side and rewiring probability p.
 func WattsStrogatz(n, k int, p float64, seed int64) *graph.Graph {
+	mustValidate(ValidateWattsStrogatz(n, k, p))
 	rng := rand.New(rand.NewSource(seed))
 	edges := make([]graph.Edge, 0, n*k)
 	for v := 0; v < n; v++ {

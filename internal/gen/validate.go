@@ -1,0 +1,116 @@
+package gen
+
+import "fmt"
+
+// Parameter validation for the generators. Each generator calls its
+// validator up front and panics with the precise boundary error instead
+// of failing deep inside a sampling loop (a zero-vertex RMAT used to die
+// on `u % n`; a negative probability silently skewed draws). Callers
+// that prefer an error — the public shogun API and cmd/graphgen — call
+// the Validate* functions directly before generating.
+
+// ValidateErdosRenyi checks G(n, m) parameters.
+func ValidateErdosRenyi(n, m int) error {
+	if n < 1 {
+		return fmt.Errorf("gen: ErdosRenyi requires n >= 1 (got %d)", n)
+	}
+	if m < 0 {
+		return fmt.Errorf("gen: ErdosRenyi requires m >= 0 (got %d)", m)
+	}
+	return nil
+}
+
+// ValidateRMAT checks R-MAT parameters: positive sizes and a valid
+// partition probability split (a, b, c nonnegative with a+b+c < 1, so
+// the implicit d = 1-a-b-c stays positive).
+func ValidateRMAT(n, m int, a, b, c float64) error {
+	if n < 1 {
+		return fmt.Errorf("gen: RMAT requires n >= 1 (got %d)", n)
+	}
+	if m < 0 {
+		return fmt.Errorf("gen: RMAT requires m >= 0 (got %d)", m)
+	}
+	if a < 0 || b < 0 || c < 0 {
+		return fmt.Errorf("gen: RMAT requires a, b, c >= 0 (got a=%v b=%v c=%v)", a, b, c)
+	}
+	if a+b+c >= 1 {
+		return fmt.Errorf("gen: RMAT requires a+b+c < 1 (got %v)", a+b+c)
+	}
+	return nil
+}
+
+// ValidateBarabasiAlbert checks preferential-attachment parameters.
+func ValidateBarabasiAlbert(n, k int) error {
+	if n < 1 {
+		return fmt.Errorf("gen: BarabasiAlbert requires n >= 1 (got %d)", n)
+	}
+	if k < 1 {
+		return fmt.Errorf("gen: BarabasiAlbert requires k >= 1 (got %d)", k)
+	}
+	return nil
+}
+
+// ValidatePowerLawCluster checks Holme–Kim parameters.
+func ValidatePowerLawCluster(n, k int, p float64) error {
+	if n < 1 {
+		return fmt.Errorf("gen: PowerLawCluster requires n >= 1 (got %d)", n)
+	}
+	if k < 1 {
+		return fmt.Errorf("gen: PowerLawCluster requires k >= 1 (got %d)", k)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("gen: PowerLawCluster requires 0 <= p <= 1 (got %v)", p)
+	}
+	return nil
+}
+
+// ValidateChungLu checks Chung–Lu parameters.
+func ValidateChungLu(n, m int, alpha float64, maxDeg int) error {
+	if n < 1 {
+		return fmt.Errorf("gen: ChungLu requires n >= 1 (got %d)", n)
+	}
+	if m < 1 {
+		return fmt.Errorf("gen: ChungLu requires m >= 1 (got %d)", m)
+	}
+	if alpha < 0 {
+		return fmt.Errorf("gen: ChungLu requires alpha >= 0 (got %v)", alpha)
+	}
+	if maxDeg < 1 {
+		return fmt.Errorf("gen: ChungLu requires maxDeg >= 1 (got %d)", maxDeg)
+	}
+	return nil
+}
+
+// ValidateNearRegular checks near-regular parameters.
+func ValidateNearRegular(n, k int) error {
+	if n < 1 {
+		return fmt.Errorf("gen: NearRegular requires n >= 1 (got %d)", n)
+	}
+	if k < 0 {
+		return fmt.Errorf("gen: NearRegular requires k >= 0 (got %d)", k)
+	}
+	return nil
+}
+
+// ValidateWattsStrogatz checks small-world parameters.
+func ValidateWattsStrogatz(n, k int, p float64) error {
+	if n < 1 {
+		return fmt.Errorf("gen: WattsStrogatz requires n >= 1 (got %d)", n)
+	}
+	if k < 0 {
+		return fmt.Errorf("gen: WattsStrogatz requires k >= 0 (got %d)", k)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("gen: WattsStrogatz requires 0 <= p <= 1 (got %v)", p)
+	}
+	return nil
+}
+
+// mustValidate is the generators' boundary check: parameters are a
+// programming error at this layer, so a violation is a documented panic
+// with the validator's message.
+func mustValidate(err error) {
+	if err != nil {
+		panic(err.Error())
+	}
+}

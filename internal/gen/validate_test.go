@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidators(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string // "" = valid
+	}{
+		{"er-ok", ValidateErdosRenyi(10, 20), ""},
+		{"er-zero-n", ValidateErdosRenyi(0, 20), "n >= 1"},
+		{"er-neg-m", ValidateErdosRenyi(10, -1), "m >= 0"},
+		{"rmat-ok", ValidateRMAT(16, 40, 0.6, 0.15, 0.15), ""},
+		{"rmat-zero-n", ValidateRMAT(0, 40, 0.6, 0.15, 0.15), "n >= 1"},
+		{"rmat-sum", ValidateRMAT(16, 40, 0.6, 0.3, 0.3), "a+b+c < 1"},
+		{"rmat-neg", ValidateRMAT(16, 40, -0.1, 0.3, 0.3), "a, b, c >= 0"},
+		{"ba-ok", ValidateBarabasiAlbert(10, 2), ""},
+		{"ba-k0", ValidateBarabasiAlbert(10, 0), "k >= 1"},
+		{"ba-zero-n", ValidateBarabasiAlbert(0, 2), "n >= 1"},
+		{"plc-ok", ValidatePowerLawCluster(10, 2, 0.5), ""},
+		{"plc-p", ValidatePowerLawCluster(10, 2, 1.5), "0 <= p <= 1"},
+		{"cl-ok", ValidateChungLu(10, 20, 0.5, 8), ""},
+		{"cl-m0", ValidateChungLu(10, 0, 0.5, 8), "m >= 1"},
+		{"cl-deg", ValidateChungLu(10, 20, 0.5, 0), "maxDeg >= 1"},
+		{"nr-ok", ValidateNearRegular(10, 4), ""},
+		{"nr-zero-n", ValidateNearRegular(0, 4), "n >= 1"},
+		{"ws-ok", ValidateWattsStrogatz(10, 2, 0.1), ""},
+		{"ws-p", ValidateWattsStrogatz(10, 2, -0.1), "0 <= p <= 1"},
+	}
+	for _, c := range cases {
+		if c.want == "" {
+			if c.err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, c.err)
+			}
+		} else if c.err == nil || !strings.Contains(c.err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, c.err, c.want)
+		}
+	}
+}
+
+// TestGeneratorBoundaryPanics pins the documented behaviour: invalid
+// parameters panic at the generator boundary with the validator's
+// message, not deep inside a sampling loop.
+func TestGeneratorBoundaryPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+		want string
+	}{
+		{"rmat-n0", func() { RMAT(0, 100, 0.6, 0.15, 0.15, 1) }, "RMAT requires n >= 1"},
+		{"rmat-sum", func() { RMAT(16, 100, 0.5, 0.3, 0.3, 1) }, "a+b+c < 1"},
+		{"er-n0", func() { ErdosRenyi(0, 100, 1) }, "ErdosRenyi requires n >= 1"},
+		{"ba-k0", func() { BarabasiAlbert(10, 0, 1) }, "BarabasiAlbert requires k >= 1"},
+		{"plc-p", func() { PowerLawCluster(10, 2, 2.0, 1) }, "0 <= p <= 1"},
+		{"nr-n0", func() { NearRegular(0, 4, 1) }, "NearRegular requires n >= 1"},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: no panic", c.name)
+					return
+				}
+				msg, _ := r.(string)
+				if !strings.Contains(msg, c.want) {
+					t.Errorf("%s: panic %q, want mention of %q", c.name, r, c.want)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}

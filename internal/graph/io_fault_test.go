@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// validBinary serializes a small fixed graph for corruption tests.
+func validBinary(t *testing.T) []byte {
+	t.Helper()
+	g := MustNew(5, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// putU64 overwrites the i-th uint64 field of a serialized graph.
+func putU64(b []byte, i int, v uint64) []byte {
+	out := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint64(out[8*i:], v)
+	return out
+}
+
+func TestReadBinaryCorruptInputs(t *testing.T) {
+	valid := validBinary(t)
+	// Layout: [magic][n][m][offsets: n+1 x int64][neighbors: m x int32].
+	headerEnd := 3 * 8
+	offsetsEnd := headerEnd + 6*8 // n = 5
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"empty", nil, "EOF"},
+		{"header-truncated", valid[:headerEnd-3], "EOF"},
+		{"offsets-truncated", valid[:headerEnd+7], "EOF"},
+		{"neighbors-truncated", valid[:len(valid)-2], "EOF"},
+		{"bad-magic", putU64(valid, 0, 0xdeadbeef), "bad magic"},
+		{"implausible-n", putU64(valid, 1, 1<<40), "implausible header"},
+		{"implausible-m", putU64(valid, 2, 1<<40), "implausible header"},
+		{"nonzero-origin", putU64(valid, 3, 1), "corrupt offsets origin"},
+		// offsets[2] > offsets[3] makes the prefix sums non-monotone.
+		{"non-monotone-offsets", putU64(valid, 5, 99), "corrupt offsets"},
+		{"offset-past-m", putU64(valid, 8, 1000), "corrupt offsets"},
+		{"neighbor-out-of-range", func() []byte {
+			out := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint32(out[offsetsEnd:], 77) // n = 5
+			return out
+		}(), "out of range"},
+		{"neighbor-negative", func() []byte {
+			out := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint32(out[offsetsEnd:], 0xffffffff)
+			return out
+		}(), "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := ReadBinary(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatalf("decoded corrupt input into %d-vertex graph", g.NumVertices())
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestReadBinaryEveryTruncation cuts a valid buffer at every length and
+// requires a clean error (never a panic or a short-read success).
+func TestReadBinaryEveryTruncation(t *testing.T) {
+	valid := validBinary(t)
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(valid))
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("full buffer failed to decode: %v", err)
+	}
+}
+
+// TestReadBinarySingleByteMutations flips each byte of a valid buffer in
+// turn; every mutant must either fail cleanly or decode into a graph
+// that still satisfies the CSR invariants.
+func TestReadBinarySingleByteMutations(t *testing.T) {
+	valid := validBinary(t)
+	for i := 0; i < len(valid); i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		g, err := ReadBinary(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := g.Degree(VertexID(v)); d < 0 {
+				t.Fatalf("byte %d: negative degree %d at vertex %d", i, d, v)
+			}
+		}
+	}
+}
+
+// errWriter fails after n bytes, exercising WriteBinary's error paths.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrShortWrite
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteBinaryPropagatesWriteErrors(t *testing.T) {
+	g := MustNew(5, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	for _, budget := range []int{0, 8, 30, 60} {
+		if err := g.WriteBinary(&errWriter{n: budget}); err == nil {
+			t.Fatalf("budget %d: write error swallowed", budget)
+		}
+	}
+}
+
+func TestBinaryRoundTripEdgeCases(t *testing.T) {
+	graphs := []*Graph{
+		MustNew(1, nil),
+		MustNew(4, nil), // isolated vertices only
+		MustNew(5, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}}),
+		MustNew(6, []Edge{{0, 5}, {5, 0}, {2, 2}, {1, 4}}), // dups + self loop dropped
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("graph %d: write: %v", i, err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("graph %d: read: %v", i, err)
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("graph %d: shape changed: %d/%d vs %d/%d",
+				i, g.NumVertices(), g.NumEdges(), got.NumVertices(), got.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(VertexID(v)), got.Neighbors(VertexID(v))
+			if len(a) != len(b) {
+				t.Fatalf("graph %d vertex %d: degree %d vs %d", i, v, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("graph %d vertex %d: neighbors differ", i, v)
+				}
+			}
+		}
+	}
+}

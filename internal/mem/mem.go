@@ -102,6 +102,15 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	return d
 }
 
+// SetPerturb installs a service-time perturber on every DRAM channel
+// (chaos-harness latency jitter: perturbed burst reservations shift
+// queueing delay for later accesses on the same channel).
+func (d *DRAM) SetPerturb(pr sim.Perturber) {
+	for _, ch := range d.channels {
+		ch.SetPerturb(pr)
+	}
+}
+
 // Access serves one line.
 func (d *DRAM) Access(now sim.Time, addr int64, write bool) sim.Time {
 	line := addr >> LineShift

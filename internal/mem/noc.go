@@ -37,6 +37,10 @@ func NewNoC(cfg NoCConfig) *NoC {
 	return &NoC{cfg: cfg, links: sim.NewPool("noc", cfg.Links)}
 }
 
+// SetPerturb installs a service-time perturber on the link pool
+// (chaos-harness latency jitter on fabric occupancy).
+func (n *NoC) SetPerturb(pr sim.Perturber) { n.links.SetPerturb(pr) }
+
 // Transfer moves `lines` cache lines plus a control message across the
 // fabric, returning the delivery time. Used both for PE↔L2 traffic and
 // for PE↔PE task-tree-splitting transfers (§4.1).

@@ -1,12 +1,16 @@
 package mine
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"shogun/internal/graph"
 	"shogun/internal/pattern"
+	"shogun/internal/sim"
 )
 
 // Guided-scheduling chunk bounds: chunks start at maxRootChunk (half the
@@ -32,12 +36,38 @@ func guidedChunk(remaining, workers int64) int64 {
 	return c
 }
 
+// testFailRoot, when >= 0, makes mining that root panic — a
+// deterministic fault-injection hook for the containment tests.
+var testFailRoot int64 = -1
+
+func runRoot(m *Miner, v graph.VertexID) {
+	if fr := atomic.LoadInt64(&testFailRoot); fr >= 0 && int64(v) == fr {
+		panic(fmt.Sprintf("mine: injected fault at root %d", v))
+	}
+	m.RunRoot(v)
+}
+
 // ParallelCount mines g with `workers` goroutines (0 = GOMAXPROCS), each
 // running an independent Miner over a dynamically shared root queue with
 // guided self-scheduling (decreasing chunk sizes), and returns the merged
 // result. Statistics are exact; per-depth slices are summed across
-// workers.
+// workers. It is ParallelCountContext with a background context; worker
+// panics (impossible absent a miner bug) are re-raised.
 func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
+	r, err := ParallelCountContext(context.Background(), g, s, workers)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParallelCountContext is the governed software miner: workers observe
+// ctx between root chunks (and every few hundred roots within a chunk),
+// so a cancelled context stops the mine promptly with a wrapped
+// sim.ErrCancelled. A panic inside any worker is contained and returned
+// as a *sim.InvariantError naming the worker and the root being mined;
+// the remaining workers drain and exit cleanly.
+func ParallelCountContext(ctx context.Context, g *graph.Graph, s *pattern.Schedule, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -45,19 +75,66 @@ func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
 	if workers > n {
 		workers = n
 	}
+	const pollRoots = 256 // ctx checks at least this often per worker
 	if workers <= 1 {
-		return NewMiner(g, s).Run()
+		m := NewMiner(g, s)
+		var res *Result
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &sim.InvariantError{
+						Op:         "mine: count",
+						PanicValue: r,
+						Stack:      string(debug.Stack()),
+					}
+				}
+			}()
+			for v := 0; v < n; v++ {
+				if v%pollRoots == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return fmt.Errorf("mine: %w at root %d/%d (%v)", sim.ErrCancelled, v, n, cerr)
+					}
+				}
+				runRoot(m, graph.VertexID(v))
+			}
+			res = m.Result()
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 
+	// stop cancels the other workers once one fails, so a contained
+	// panic doesn't leave the rest mining a result nobody will read.
+	ctx, stop := context.WithCancel(ctx)
+	defer stop()
 	var cursor int64
 	results := make([]*Result, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
 			m := NewMiner(g, s)
+			var current graph.VertexID
+			defer func() {
+				if r := recover(); r != nil {
+					errs[wk] = &sim.InvariantError{
+						Op:         fmt.Sprintf("mine: worker %d (root %d)", wk, current),
+						PanicValue: r,
+						Stack:      string(debug.Stack()),
+					}
+					stop()
+				}
+			}()
 			for {
+				if cerr := ctx.Err(); cerr != nil {
+					errs[wk] = fmt.Errorf("mine: worker %d: %w (%v)", wk, sim.ErrCancelled, cerr)
+					return
+				}
 				// The chunk size is computed from a possibly stale
 				// cursor read; correctness only depends on the
 				// atomic Add, which hands every worker a disjoint
@@ -76,13 +153,28 @@ func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
 					end = int64(n)
 				}
 				for v := base; v < end; v++ {
-					m.RunRoot(graph.VertexID(v))
+					current = graph.VertexID(v)
+					runRoot(m, current)
 				}
 			}
 			results[wk] = m.Result()
 		}(wk)
 	}
 	wg.Wait()
+
+	// An invariant error outranks the cancellations it caused.
+	var firstErr error
+	for _, e := range errs {
+		if ie, ok := e.(*sim.InvariantError); ok {
+			return nil, ie
+		}
+		if e != nil && firstErr == nil {
+			firstErr = e
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	merged := &Result{
 		TasksPerDepth:             make([]int64, s.Depth()),
@@ -96,5 +188,5 @@ func ParallelCount(g *graph.Graph, s *pattern.Schedule, workers int) *Result {
 			merged.IntermediateLinesPerDepth[d] += r.IntermediateLinesPerDepth[d]
 		}
 	}
-	return merged
+	return merged, nil
 }

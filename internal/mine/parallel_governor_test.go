@@ -1,0 +1,90 @@
+package mine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"shogun/internal/gen"
+	"shogun/internal/pattern"
+	"shogun/internal/sim"
+)
+
+func triangle(t *testing.T) *pattern.Schedule {
+	t.Helper()
+	s, err := pattern.Build(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParallelCountContextMatchesPlain(t *testing.T) {
+	g := gen.RMAT(1<<10, 8000, 0.57, 0.17, 0.17, 3)
+	s := triangle(t)
+	want := NewMiner(g, s).Run().Embeddings
+	for _, workers := range []int{1, 4} {
+		got, err := ParallelCountContext(context.Background(), g, s, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Embeddings != want {
+			t.Fatalf("workers=%d: %d embeddings, want %d", workers, got.Embeddings, want)
+		}
+	}
+}
+
+func TestParallelCountContextCancelled(t *testing.T) {
+	g := gen.RMAT(1<<11, 16000, 0.57, 0.17, 0.17, 5)
+	s := triangle(t)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := ParallelCountContext(ctx, g, s, workers)
+		if !errors.Is(err, sim.ErrCancelled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCancelled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: result returned alongside cancellation", workers)
+		}
+	}
+}
+
+func TestParallelCountContextPanicContained(t *testing.T) {
+	g := gen.RMAT(1<<9, 3000, 0.57, 0.17, 0.17, 9)
+	s := triangle(t)
+	atomic.StoreInt64(&testFailRoot, 100)
+	defer atomic.StoreInt64(&testFailRoot, -1)
+	for _, workers := range []int{1, 4} {
+		res, err := ParallelCountContext(context.Background(), g, s, workers)
+		var ie *sim.InvariantError
+		if !errors.As(err, &ie) {
+			t.Fatalf("workers=%d: err = %T %v, want *sim.InvariantError", workers, err, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: result returned alongside contained panic", workers)
+		}
+		if !strings.Contains(panicText(ie.PanicValue), "injected fault at root 100") {
+			t.Fatalf("workers=%d: PanicValue = %v", workers, ie.PanicValue)
+		}
+		if ie.Stack == "" {
+			t.Fatalf("workers=%d: missing stack", workers)
+		}
+	}
+	// ParallelCount (the panicking wrapper) re-raises.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParallelCount did not re-raise the contained panic")
+		}
+	}()
+	ParallelCount(g, s, 4)
+}
+
+func panicText(v interface{}) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}

@@ -224,6 +224,29 @@ func (p *PE) Workload() *task.Workload { return p.w }
 // Conservative reports the monitor's current mode.
 func (p *PE) Conservative() bool { return p.conservative }
 
+// ForceConservative flips conservative mode outside the monitor — the
+// chaos harness's fault injection. It follows the same transition
+// protocol as monitorTick, so the policy sees a well-formed mode change;
+// the monitor may flip the mode back at its next tick.
+func (p *PE) ForceConservative(on bool) {
+	if p.conservative == on {
+		return
+	}
+	p.conservative = on
+	p.ConservativeTransitions.Inc(1)
+	p.policy.SetConservative(on)
+	if !on {
+		p.Kick()
+	}
+}
+
+// SetPerturb installs a service-time perturber on the PE's contended
+// functional-unit pools (dividers and intersection units).
+func (p *PE) SetPerturb(pr sim.Perturber) {
+	p.DivPool.SetPerturb(pr)
+	p.IUPool.SetPerturb(pr)
+}
+
 // Kick schedules a scheduling attempt. Safe to call repeatedly.
 func (p *PE) Kick() {
 	if p.kickPending {

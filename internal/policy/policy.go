@@ -121,6 +121,18 @@ func (t *Tokens) Release(depth, slot int) {
 // InUse reports current usage at a depth.
 func (t *Tokens) InUse(depth int) int { return t.inUse[depth] }
 
+// Depths reports the number of depth slots (index range of InUse/Cap).
+func (t *Tokens) Depths() int { return len(t.caps) }
+
+// InUseByDepth returns a copy of the per-depth occupancy (diagnostic).
+func (t *Tokens) InUseByDepth() []int {
+	return append([]int(nil), t.inUse...)
+}
+
+// TotalInUse reports slots held across all depths (leak check: must be
+// zero after a run completes).
+func (t *Tokens) TotalInUse() int { return t.totalInUse }
+
 // Peak reports the maximum simultaneous slots held (memory footprint
 // proxy, used by the BFS explosion measurements).
 func (t *Tokens) Peak() int { return t.peak }

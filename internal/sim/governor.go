@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The governed-run stop conditions. Errors returned by RunGoverned wrap
+// one of these sentinels, so callers can classify failures with
+// errors.Is regardless of the diagnostic detail attached.
+var (
+	// ErrCancelled reports a context cancellation observed at a
+	// cooperative checkpoint.
+	ErrCancelled = errors.New("sim: run cancelled")
+	// ErrEventBudget reports that the event-count budget was exhausted
+	// before the queue drained.
+	ErrEventBudget = errors.New("sim: event budget exhausted")
+	// ErrDeadline reports that pending events lie beyond the
+	// simulated-time deadline.
+	ErrDeadline = errors.New("sim: simulated-time deadline exceeded")
+	// ErrWallBudget reports that the real-time budget was exhausted.
+	ErrWallBudget = errors.New("sim: wall-clock budget exhausted")
+	// ErrNoProgress reports a zero-latency event livelock: the engine
+	// processed many events without simulated time advancing.
+	ErrNoProgress = errors.New("sim: no progress (simulated time stuck)")
+)
+
+// Watchdog defaults.
+const (
+	// DefaultPollEvents is the number of events between cooperative
+	// context / wall-clock checks when Budget.PollEvents is zero.
+	DefaultPollEvents = 4096
+	// DefaultMaxStall is the number of consecutive events at one
+	// simulated timestamp tolerated before declaring a livelock when
+	// Budget.MaxStall is zero. Legitimate same-cycle bursts are a few
+	// events per in-flight task; millions indicate a self-feeding
+	// zero-delay loop.
+	DefaultMaxStall = 4 << 20
+)
+
+// Budget bounds a governed engine run. Zero values mean "unbounded"
+// (except PollEvents and MaxStall, which fall back to the defaults).
+type Budget struct {
+	// MaxEvents bounds the events processed by this call.
+	MaxEvents int64
+	// Deadline bounds simulated time: events scheduled past it are not
+	// executed and the run fails with ErrDeadline.
+	Deadline Time
+	// MaxWall bounds real elapsed time, checked every PollEvents events.
+	MaxWall time.Duration
+	// PollEvents is the cooperative-checkpoint interval in events.
+	PollEvents int64
+	// MaxStall bounds events processed without simulated-time progress.
+	MaxStall int64
+}
+
+// RunGoverned executes events until the queue drains, a budget trips, or
+// ctx is cancelled. It is the cooperative-cancellation core of the run
+// governor: the context and wall clock are polled every PollEvents
+// events, so a cancelled context stops the run within one poll interval.
+// The engine is left in a consistent state on every return — callers may
+// snapshot it for diagnostics.
+func (e *Engine) RunGoverned(ctx context.Context, b Budget) error {
+	poll := b.PollEvents
+	if poll <= 0 {
+		poll = DefaultPollEvents
+	}
+	maxStall := b.MaxStall
+	if maxStall <= 0 {
+		maxStall = DefaultMaxStall
+	}
+	var wallDeadline time.Time
+	if b.MaxWall > 0 {
+		wallDeadline = time.Now().Add(b.MaxWall)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w (%v)", ErrCancelled, err)
+	}
+	var processed, sincePoll, stalled int64
+	lastNow := e.now
+	for len(e.pq) > 0 {
+		if b.Deadline > 0 && e.pq[0].at > b.Deadline {
+			return fmt.Errorf("%w: next event at cycle %d, deadline %d (%d events pending)",
+				ErrDeadline, e.pq[0].at, b.Deadline, len(e.pq))
+		}
+		e.Step()
+		processed++
+		if e.now != lastNow {
+			lastNow = e.now
+			stalled = 0
+		} else if stalled++; stalled > maxStall {
+			return fmt.Errorf("%w: %d events at cycle %d without time advancing",
+				ErrNoProgress, stalled, e.now)
+		}
+		if b.MaxEvents > 0 && processed >= b.MaxEvents && len(e.pq) > 0 {
+			return fmt.Errorf("%w: %d events processed, %d still pending at cycle %d",
+				ErrEventBudget, processed, len(e.pq), e.now)
+		}
+		if sincePoll++; sincePoll >= poll {
+			sincePoll = 0
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w at cycle %d after %d events (%v)", ErrCancelled, e.now, processed, err)
+			}
+			if b.MaxWall > 0 && time.Now().After(wallDeadline) {
+				return fmt.Errorf("%w: %v elapsed at cycle %d after %d events",
+					ErrWallBudget, b.MaxWall, e.now, processed)
+			}
+		}
+	}
+	return nil
+}
+
+// ResourceSnap is the state of one contended resource at snapshot time.
+type ResourceSnap struct {
+	Name    string
+	Kind    string // "semaphore" | "pool"
+	Cap     int
+	InUse   int
+	Waiters int
+}
+
+func (r ResourceSnap) String() string {
+	s := fmt.Sprintf("%s %s: %d/%d in use", r.Kind, r.Name, r.InUse, r.Cap)
+	if r.Waiters > 0 {
+		s += fmt.Sprintf(", %d waiter(s)", r.Waiters)
+	}
+	return s
+}
+
+// Snapshot is a diagnostic capture of a simulation's state: engine
+// progress, resource occupancy with waiter queues, and free-form
+// per-component notes (per-PE FSM state, token occupancy). It is
+// attached to InvariantError and DeadlockError so a failed run can be
+// diagnosed post mortem without re-running it.
+type Snapshot struct {
+	Now             Time
+	PendingEvents   int
+	ProcessedEvents int64
+	Resources       []ResourceSnap
+	Notes           []string
+}
+
+// String renders the snapshot as an indented multi-line report.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: cycle=%d pending=%d processed=%d\n", s.Now, s.PendingEvents, s.ProcessedEvents)
+	for _, r := range s.Resources {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// Blocked lists the resources that hold waiters — the "which semaphores
+// hold which waiters" view of a deadlock report.
+func (s *Snapshot) Blocked() []ResourceSnap {
+	var out []ResourceSnap
+	for _, r := range s.Resources {
+		if r.Waiters > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Snapshot captures the engine's progress counters. Callers append
+// resource states and notes for their own components.
+func (e *Engine) Snapshot() *Snapshot {
+	return &Snapshot{Now: e.now, PendingEvents: len(e.pq), ProcessedEvents: e.Processed}
+}
+
+// InvariantError converts an internal invariant panic, recovered at a
+// public boundary (Simulate/Count/bench cell), into a typed error
+// carrying the diagnostic snapshot taken at recovery time. The grid
+// harness records it for the failed cell and keeps going.
+type InvariantError struct {
+	// Op names the boundary that contained the panic.
+	Op string
+	// PanicValue is the recovered value.
+	PanicValue interface{}
+	// Stack is the goroutine stack at recovery time.
+	Stack string
+	// Snapshot is the engine/resource state, when one existed.
+	Snapshot *Snapshot
+}
+
+// Error renders a one-line summary (diagnostics via Details).
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("%s: invariant violation: %v", e.Op, e.PanicValue)
+}
+
+// Details renders the full multi-line diagnostic report.
+func (e *InvariantError) Details() string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	b.WriteByte('\n')
+	if e.Snapshot != nil {
+		b.WriteString(e.Snapshot.String())
+	}
+	if e.Stack != "" {
+		b.WriteString("stack:\n")
+		b.WriteString(e.Stack)
+	}
+	return b.String()
+}
+
+// DeadlockError reports a drained event queue with work still
+// outstanding: a scheduling deadlock. The snapshot records which
+// semaphores hold which waiters and each PE's state, making the cause
+// (lost wakeup, token leak, starved waiter queue) readable directly
+// from the error.
+type DeadlockError struct {
+	Op       string
+	Snapshot *Snapshot
+}
+
+// Error summarizes the deadlock with its blocked resources inline.
+func (e *DeadlockError) Error() string {
+	msg := fmt.Sprintf("%s: deadlock: event queue drained with work outstanding", e.Op)
+	if e.Snapshot != nil {
+		if blocked := e.Snapshot.Blocked(); len(blocked) > 0 {
+			parts := make([]string, len(blocked))
+			for i, r := range blocked {
+				parts[i] = r.String()
+			}
+			msg += " [" + strings.Join(parts, "; ") + "]"
+		}
+	}
+	return msg
+}
+
+// Details renders the full diagnostic report.
+func (e *DeadlockError) Details() string {
+	if e.Snapshot == nil {
+		return e.Error()
+	}
+	return e.Error() + "\n" + e.Snapshot.String()
+}
+
+// Perturber adjusts pool service times — the fault-injection hook used
+// by internal/chaos to jitter FU/DRAM/NoC latencies. Implementations
+// must be deterministic for a fixed seed and are called only from the
+// (single-threaded) event loop that owns the pool.
+type Perturber interface {
+	// ServiceTime maps a nominal reservation duration to the perturbed
+	// one; returning a negative value leaves the duration unchanged.
+	ServiceTime(pool string, dur Time) Time
+}

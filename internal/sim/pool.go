@@ -9,9 +9,10 @@ package sim
 // call order, which matches an in-order arbiter granting requests as they
 // arrive.
 type Pool struct {
-	name  string
-	until []Time
-	busy  Time
+	name    string
+	until   []Time
+	busy    Time
+	perturb Perturber
 }
 
 // NewPool creates a pool of n units.
@@ -28,9 +29,18 @@ func (p *Pool) Name() string { return p.name }
 // Size returns the number of units.
 func (p *Pool) Size() int { return len(p.until) }
 
+// SetPerturb installs a service-time perturber (nil removes it). Used by
+// the chaos harness to inject deterministic latency jitter.
+func (p *Pool) SetPerturb(pr Perturber) { p.perturb = pr }
+
 // Acquire reserves one unit for dur cycles starting no earlier than now,
 // returning the reservation's start time (start+dur is the completion).
 func (p *Pool) Acquire(now Time, dur Time) Time {
+	if p.perturb != nil && dur > 0 {
+		if d := p.perturb.ServiceTime(p.name, dur); d >= 0 {
+			dur = d
+		}
+	}
 	best := 0
 	for i := 1; i < len(p.until); i++ {
 		if p.until[i] < p.until[best] {
@@ -197,3 +207,11 @@ func (s *Semaphore) Peak() int { return s.peakInUse }
 
 // Acquires reports the total successful acquisitions.
 func (s *Semaphore) Acquires() int64 { return s.acquireCount }
+
+// Waiters reports the queued waiter count (diagnostic).
+func (s *Semaphore) Waiters() int { return len(s.waiters) }
+
+// Snap captures the semaphore's state for a diagnostic snapshot.
+func (s *Semaphore) Snap() ResourceSnap {
+	return ResourceSnap{Name: s.name, Kind: "semaphore", Cap: s.cap, InUse: s.inUse, Waiters: len(s.waiters)}
+}

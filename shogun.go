@@ -25,8 +25,10 @@
 package shogun
 
 import (
+	"context"
 	"io"
 	"os"
+	"runtime"
 
 	"shogun/internal/datasets"
 	"shogun/internal/gen"
@@ -67,27 +69,55 @@ func LoadGraph(path string) (*Graph, error) {
 }
 
 // GenerateRMAT produces a recursive-matrix (skewed, social-network-like)
-// random graph. a+b+c must be < 1; larger a means heavier skew.
+// random graph. Larger a means heavier skew. Invalid parameters (n < 1,
+// m < 0, negative probabilities, a+b+c >= 1) panic at this boundary
+// with a precise message; use ValidateRMAT first to get an error
+// instead.
 func GenerateRMAT(n, m int, a, b, c float64, seed int64) *Graph {
 	return gen.RMAT(n, m, a, b, c, seed)
 }
 
-// GenerateErdosRenyi produces a uniform G(n,m) random graph.
+// ValidateRMAT reports whether GenerateRMAT's parameters are valid.
+func ValidateRMAT(n, m int, a, b, c float64) error { return gen.ValidateRMAT(n, m, a, b, c) }
+
+// GenerateErdosRenyi produces a uniform G(n,m) random graph. Invalid
+// parameters (n < 1, m < 0) panic at this boundary; use
+// ValidateErdosRenyi first to get an error instead.
 func GenerateErdosRenyi(n, m int, seed int64) *Graph { return gen.ErdosRenyi(n, m, seed) }
 
+// ValidateErdosRenyi reports whether GenerateErdosRenyi's parameters
+// are valid.
+func ValidateErdosRenyi(n, m int) error { return gen.ValidateErdosRenyi(n, m) }
+
 // GenerateBarabasiAlbert produces a preferential-attachment graph with k
-// edges per new vertex.
+// edges per new vertex. Invalid parameters (n < 1, k < 1) panic at this
+// boundary; use ValidateBarabasiAlbert first to get an error instead.
 func GenerateBarabasiAlbert(n, k int, seed int64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
 
+// ValidateBarabasiAlbert reports whether GenerateBarabasiAlbert's
+// parameters are valid.
+func ValidateBarabasiAlbert(n, k int) error { return gen.ValidateBarabasiAlbert(n, k) }
+
 // GeneratePowerLawCluster produces a Holme–Kim power-law graph with
-// triangle closure probability p (collaboration-network-like).
+// triangle closure probability p (collaboration-network-like). Invalid
+// parameters (n < 1, k < 1, p outside [0, 1]) panic at this boundary;
+// use ValidatePowerLawCluster first to get an error instead.
 func GeneratePowerLawCluster(n, k int, p float64, seed int64) *Graph {
 	return gen.PowerLawCluster(n, k, p, seed)
 }
 
+// ValidatePowerLawCluster reports whether GeneratePowerLawCluster's
+// parameters are valid.
+func ValidatePowerLawCluster(n, k int, p float64) error { return gen.ValidatePowerLawCluster(n, k, p) }
+
 // GenerateNearRegular produces a low-degree-variance random graph
-// (citation-network-like).
+// (citation-network-like). Invalid parameters (n < 1, k < 0) panic at
+// this boundary; use ValidateNearRegular first to get an error instead.
 func GenerateNearRegular(n, k int, seed int64) *Graph { return gen.NearRegular(n, k, seed) }
+
+// ValidateNearRegular reports whether GenerateNearRegular's parameters
+// are valid.
+func ValidateNearRegular(n, k int) error { return gen.ValidateNearRegular(n, k) }
 
 // Dataset returns one of the six named dataset analogues standing in for
 // the paper's Table 4 graphs: "wi", "as", "yo", "pa", "lj", "or" (see
@@ -149,6 +179,19 @@ type MineResult = mine.Result
 // Count mines g for schedule s in software and returns the number of
 // unique embeddings.
 func Count(g *Graph, s *Schedule) int64 { return mine.Count(g, s) }
+
+// CountContext mines g in parallel (GOMAXPROCS workers) under a
+// context: workers observe ctx between root chunks, so a cancelled
+// context stops the mine promptly with an error wrapping
+// ErrSimCancelled. A panic inside the miner is contained and returned
+// as an *InvariantError.
+func CountContext(ctx context.Context, g *Graph, s *Schedule) (int64, error) {
+	r, err := mine.ParallelCountContext(ctx, g, s, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return 0, err
+	}
+	return r.Embeddings, nil
+}
 
 // Mine runs the software miner and returns full statistics.
 func Mine(g *Graph, s *Schedule) *MineResult { return mine.NewMiner(g, s).Run() }

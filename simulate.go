@@ -1,7 +1,10 @@
 package shogun
 
 import (
+	"context"
+
 	"shogun/internal/accel"
+	"shogun/internal/sim"
 )
 
 // Scheme names a task scheduling scheme for the simulated accelerator.
@@ -37,9 +40,45 @@ func DefaultSimConfig(scheme Scheme) SimConfig { return accel.DefaultConfig(sche
 // also computes the true embedding count, so callers can cross-check it
 // against Count.
 func Simulate(g *Graph, s *Schedule, cfg SimConfig) (*SimResult, error) {
+	return SimulateContext(context.Background(), g, s, cfg)
+}
+
+// SimulateContext is Simulate under the run governor: the simulation
+// observes ctx at cooperative checkpoints (every cfg.WatchdogPoll
+// events), so a cancelled context stops the run within one poll
+// interval, returning an error wrapping ErrSimCancelled. The config's
+// watchdog budgets (Deadline, MaxEvents, MaxWall) bound runaway
+// simulations; a budget trip wraps the matching sentinel. Internal
+// invariant panics are contained and returned as *InvariantError with a
+// diagnostic snapshot, and a drained event queue with work outstanding
+// returns *DeadlockError reporting which semaphores hold which waiters.
+func SimulateContext(ctx context.Context, g *Graph, s *Schedule, cfg SimConfig) (*SimResult, error) {
 	a, err := accel.New(g, s, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return a.Run()
+	return a.RunContext(ctx)
 }
+
+// InvariantError is a typed error produced when an internal invariant
+// panic is contained at the Simulate/Count boundary; it carries the
+// panic value, stack, and a diagnostic snapshot of the engine and
+// resource state at recovery time.
+type InvariantError = sim.InvariantError
+
+// DeadlockError reports a simulation whose event queue drained with
+// work still outstanding, with a snapshot of the blocked resources.
+type DeadlockError = sim.DeadlockError
+
+// The run governor's stop sentinels; match with errors.Is.
+var (
+	// ErrSimCancelled reports a context cancellation observed at a
+	// cooperative checkpoint.
+	ErrSimCancelled = sim.ErrCancelled
+	// ErrSimDeadline reports a simulated-time deadline (SimConfig.Deadline) hit.
+	ErrSimDeadline = sim.ErrDeadline
+	// ErrSimEventBudget reports an event-count budget (SimConfig.MaxEvents) hit.
+	ErrSimEventBudget = sim.ErrEventBudget
+	// ErrSimWallBudget reports a wall-clock budget (SimConfig.MaxWall) hit.
+	ErrSimWallBudget = sim.ErrWallBudget
+)
