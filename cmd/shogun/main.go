@@ -47,6 +47,8 @@ func main() {
 		cfgPath  = flag.String("config", "", "load accelerator config from JSON (flags below override)")
 		dumpCfg  = flag.Bool("dumpconfig", false, "print the effective config as JSON and exit")
 		traceOut = flag.String("trace", "", "write per-task JSONL trace to file")
+		chromeT  = flag.String("trace-out", "", "write Chrome trace JSON (load in chrome://tracing or Perfetto)")
+		metricsF = flag.Bool("metrics", false, "print the hardware-counter report and verify conservation invariants")
 		verbose  = flag.Bool("v", false, "print extended statistics")
 		deadline = flag.Int64("deadline", 0, "abort after this many simulated cycles (0 = none)")
 		maxEv    = flag.Int64("maxevents", 0, "abort after this many simulation events (0 = none)")
@@ -57,7 +59,7 @@ func main() {
 	// the run loop flushes a diagnostic snapshot and exits non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *traceOut, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall); err != nil {
+	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall); err != nil {
 		fmt.Fprintln(os.Stderr, "shogun:", err)
 		var inv *sim.InvariantError
 		var dead *sim.DeadlockError
@@ -71,7 +73,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose bool, traceOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration) error {
+func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration) error {
 	var g *graph.Graph
 	var err error
 	switch {
@@ -132,15 +134,25 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 
 	summary := trace.NewSummary()
 	timeline := trace.NewTimeline()
+	var jsonl *trace.JSONL
+	var chrome *trace.Chrome
+	tracers := trace.Multi{}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cfg.Tracer = trace.Multi{trace.NewJSONL(f), summary, timeline}
-	} else if verbose {
-		cfg.Tracer = trace.Multi{summary, timeline}
+		jsonl = trace.NewJSONL(f)
+		tracers = append(tracers, jsonl)
+	}
+	if chromeOut != "" {
+		chrome = trace.NewChrome()
+		tracers = append(tracers, chrome)
+	}
+	if len(tracers) > 0 || verbose {
+		tracers = append(tracers, summary, timeline)
+		cfg.Tracer = tracers
 	}
 
 	if dumpCfg {
@@ -181,6 +193,36 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 	if split || merge {
 		fmt.Printf("splits=%d merges=%d\n", res.Splits, res.Merges)
 	}
+	fmt.Printf("cycle breakdown: compute=%.1f%% memstall=%.1f%% sched=%.1f%% idle=%.1f%%\n",
+		bdPct(res.Breakdown.Compute, res.Breakdown), bdPct(res.Breakdown.MemStall, res.Breakdown),
+		bdPct(res.Breakdown.Scheduling, res.Breakdown), bdPct(res.Breakdown.Idle, res.Breakdown))
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("trace truncated after %d events: %w", jsonl.Count(), err)
+		}
+	}
+	if chrome != nil {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("chrome trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace:    %s (%d events; open chrome://tracing and load it)\n", chromeOut, chrome.Count())
+	}
+	if metricsF {
+		reg := a.Metrics()
+		fmt.Printf("\nhardware counters:\n%s", reg.Report())
+		if err := reg.Verify(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: all %d conservation invariants hold\n", reg.Invariants())
+	}
 	if verbose {
 		fmt.Printf("task latency by depth:\n%s", summary.String())
 		fmt.Printf("PE occupancy timeline:\n%s", timeline.Render(72))
@@ -209,4 +251,13 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 		fmt.Printf("verify: OK (software miner agrees: %d)\n", want)
 	}
 	return nil
+}
+
+// bdPct renders one attribution category as a percentage of the total.
+func bdPct(v int64, b accel.CycleBreakdown) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(v) / float64(t) * 100
 }

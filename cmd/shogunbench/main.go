@@ -24,18 +24,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (default: all)")
-		quick   = flag.Bool("quick", false, "use miniature graphs and trimmed sweeps")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
-		verbose = flag.Bool("v", false, "per-cell progress to stderr")
-		format  = flag.String("format", "text", "output format: text|csv|markdown")
-		chart   = flag.Int("chart", -1, "also render tables as ASCII bars of the given column (0 = last)")
-		save    = flag.String("save", "", "run all experiments and save a JSON baseline")
-		html    = flag.String("html", "", "run all experiments and write a self-contained HTML report")
-		check   = flag.String("check", "", "run all experiments and compare against a JSON baseline")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		cellTO  = flag.Duration("celltimeout", 0, "wall-clock budget per grid cell (0 = none)")
-		cellEv  = flag.Int64("cellevents", 0, "event budget per grid cell (0 = none)")
+		exp      = flag.String("exp", "", "experiment id (default: all)")
+		quick    = flag.Bool("quick", false, "use miniature graphs and trimmed sweeps")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+		verbose  = flag.Bool("v", false, "per-cell progress to stderr")
+		format   = flag.String("format", "text", "output format: text|csv|markdown")
+		chart    = flag.Int("chart", -1, "also render tables as ASCII bars of the given column (0 = last)")
+		save     = flag.String("save", "", "run all experiments and save a JSON baseline")
+		html     = flag.String("html", "", "run all experiments and write a self-contained HTML report")
+		check    = flag.String("check", "", "run all experiments and compare against a JSON baseline")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		cellTO   = flag.Duration("celltimeout", 0, "wall-clock budget per grid cell (0 = none)")
+		cellEv   = flag.Int64("cellevents", 0, "event budget per grid cell (0 = none)")
+		metricsF = flag.Bool("metrics", false, "log a per-cell hardware-counter digest (implies -v)")
+		traceDir = flag.String("trace-out", "", "write one Chrome trace JSON per cell into this directory")
 	)
 	flag.Parse()
 
@@ -51,8 +53,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	o := bench.Options{Quick: *quick, Workers: *workers, Ctx: ctx, CellTimeout: *cellTO, CellMaxEvents: *cellEv}
-	if *verbose {
+	o := bench.Options{Quick: *quick, Workers: *workers, Ctx: ctx, CellTimeout: *cellTO, CellMaxEvents: *cellEv,
+		Metrics: *metricsF, TraceDir: *traceDir}
+	if *verbose || *metricsF {
 		o.Log = os.Stderr
 	}
 

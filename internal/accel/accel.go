@@ -82,6 +82,11 @@ type Config struct {
 	// DisableMonitor turns the locality monitor off so conservative mode
 	// never engages (ablation knob).
 	DisableMonitor bool
+	// VerifyMetrics runs the counter-conservation pass (Metrics().Verify)
+	// after every successful run, failing the run on any violated
+	// invariant. On by default; the counters themselves are always
+	// collected — this only controls the post-run check.
+	VerifyMetrics bool
 }
 
 // DefaultConfig mirrors Table 3 for the given scheme.
@@ -109,6 +114,7 @@ func DefaultConfig(scheme Scheme) Config {
 		MaxHelpersPerSplit: 4,
 		BalancePeriod:      4096,
 		MergePeriod:        4096,
+		VerifyMetrics:      true,
 	}
 }
 
@@ -257,6 +263,11 @@ type PEStats struct {
 	LastActive    sim.Time
 	PeakTokens    int
 	SlotOccupancy float64
+	// Breakdown attributes this PE's slot-cycles (width × run-cycles)
+	// to compute / memory-stall / scheduling / idle.
+	Breakdown CycleBreakdown
+	// ConservativeCycles is the PE's residency in conservative mode.
+	ConservativeCycles sim.Time
 }
 
 // Result aggregates one simulated run.
@@ -286,6 +297,9 @@ type Result struct {
 	Merges                  int64
 	ConservativeTransitions int64
 	PeakLiveSets            int
+
+	// Breakdown is the all-PE cycle attribution (sums each PE's).
+	Breakdown CycleBreakdown
 
 	Events int64
 }
@@ -331,6 +345,11 @@ func (a *Accelerator) RunContext(ctx context.Context) (res *Result, err error) {
 	for _, p := range a.pes {
 		if p.HasWork() {
 			return nil, &sim.DeadlockError{Op: "accel: run", Snapshot: a.snapshot()}
+		}
+	}
+	if a.cfg.VerifyMetrics {
+		if err := a.VerifyMetrics(); err != nil {
+			return nil, fmt.Errorf("accel: %w", err)
 		}
 	}
 	return a.collect(), nil
@@ -387,12 +406,7 @@ func (a *Accelerator) collect() *Result {
 	// Cycles measures work completion: the latest task completion across
 	// PEs. The engine clock itself can drift past it on idle monitor
 	// events (balance/merge checks), which must not count as runtime.
-	var end sim.Time
-	for _, p := range a.pes {
-		if p.LastActive > end {
-			end = p.LastActive
-		}
-	}
+	end := a.endTime()
 	r := &Result{Scheme: a.cfg.Scheme, Cycles: end, Events: a.eng.Processed}
 	var iuBusy, iuCap sim.Time
 	var l1Hits, l1Miss, l1LatSum, l1LatCnt int64
@@ -408,7 +422,11 @@ func (a *Accelerator) collect() *Result {
 			LastActive:    p.LastActive,
 			PeakTokens:    a.toks[i].Peak(),
 			SlotOccupancy: p.Slots.AvgOccupancy(r.Cycles) / float64(a.cfg.PE.Width),
+
+			Breakdown:          a.breakdownFor(i, end),
+			ConservativeCycles: p.ConservResidency(end),
 		}
+		r.Breakdown.accumulate(ps.Breakdown)
 		if p.L1.Latency.TotalCount > 0 {
 			ps.L1AvgLatency = float64(p.L1.Latency.TotalSum) / float64(p.L1.Latency.TotalCount)
 		}

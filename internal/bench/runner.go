@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,9 +18,11 @@ import (
 	"shogun/internal/datasets"
 	"shogun/internal/gen"
 	"shogun/internal/graph"
+	"shogun/internal/metrics"
 	"shogun/internal/mine"
 	"shogun/internal/pattern"
 	"shogun/internal/sim"
+	"shogun/internal/trace"
 )
 
 func log(v float64) float64 { return math.Log(v) }
@@ -46,6 +51,13 @@ type Options struct {
 	CellTimeout time.Duration
 	// CellMaxEvents bounds each cell's simulation event count (0 = none).
 	CellMaxEvents int64
+	// TraceDir, when set, writes one Chrome-trace JSON per cell into the
+	// directory (file name: cell key with "/" replaced by "_").
+	TraceDir string
+	// Metrics, when set, logs a per-cell hardware-counter digest after
+	// each successful cell (counter conservation itself is verified
+	// inside every run — accel.Config.VerifyMetrics defaults on).
+	Metrics bool
 }
 
 func (o Options) ctx() context.Context {
@@ -239,6 +251,11 @@ func runOne(o Options, c cell) (res *accel.Result, err error) {
 	if o.CellMaxEvents > 0 && (cfg.MaxEvents == 0 || o.CellMaxEvents < cfg.MaxEvents) {
 		cfg.MaxEvents = o.CellMaxEvents
 	}
+	var chrome *trace.Chrome
+	if o.TraceDir != "" {
+		chrome = trace.NewChrome()
+		cfg.Tracer = chrome
+	}
 	a, err := accel.New(c.g, c.s, cfg)
 	if err != nil {
 		return nil, err
@@ -253,8 +270,42 @@ func runOne(o Options, c cell) (res *accel.Result, err error) {
 			return nil, fmt.Errorf("count mismatch: sim=%d software=%d", res.Embeddings, want)
 		}
 	}
+	if chrome != nil {
+		if err := writeCellTrace(o.TraceDir, c.key, chrome); err != nil {
+			return nil, err
+		}
+	}
+	if o.Metrics {
+		reg := a.Metrics()
+		o.logf("  %-24s metrics: %d invariants OK; tasks=%d noc-msgs=%d dram=%d",
+			c.key, reg.Invariants(), mustValue(reg, "tasks/created"),
+			mustValue(reg, "noc/messages"),
+			mustValue(reg, "dram/reads")+mustValue(reg, "dram/writes"))
+	}
 	o.logf("  %-24s %12d cycles  IU=%5.1f%%  L1=%5.1f%%", c.key, res.Cycles, res.IUUtil*100, res.L1HitRate*100)
 	return res, nil
+}
+
+func mustValue(reg *metrics.Registry, path string) int64 {
+	v, _ := reg.Value(path)
+	return v
+}
+
+// writeCellTrace stores one cell's Chrome trace under dir.
+func writeCellTrace(dir, key string, c *trace.Chrome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(key, "/", "_") + ".trace.json"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // baseConfig returns the Table 3 configuration for a scheme.

@@ -1,10 +1,16 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"shogun/internal/accel"
 	"shogun/internal/gen"
 	"shogun/internal/pattern"
 )
@@ -52,5 +58,42 @@ func TestExpectedCountSingleFlight(t *testing.T) {
 	expectedCount(g, s2, 2)
 	if got := atomic.LoadInt64(&countComputes) - before; got != 2 {
 		t.Fatalf("cache re-mined: %d computes, want 2", got)
+	}
+}
+
+// TestCellTraceAndMetricsDigest runs one cell with TraceDir and Metrics
+// set: a valid Chrome trace file must appear (named after the cell key)
+// and the metrics digest must reach the log.
+func TestCellTraceAndMetricsDigest(t *testing.T) {
+	g := gen.RMAT(256, 1500, 0.6, 0.15, 0.15, 31)
+	s, err := pattern.Build(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var log bytes.Buffer
+	o := Options{Quick: true, TraceDir: dir, Metrics: true, Log: &log}
+	grid, err := runCells(o, []cell{{"rmat/tc/shogun", g, s, baseConfig(accel.SchemeShogun)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := grid.Failures(); len(f) != 0 {
+		t.Fatalf("cell failed: %v", f)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "rmat_tc_shogun.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !strings.Contains(log.String(), "invariants OK") {
+		t.Fatalf("metrics digest missing from log:\n%s", log.String())
 	}
 }

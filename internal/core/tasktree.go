@@ -147,6 +147,16 @@ type Tree struct {
 	QuiesceEvents   sim.Counter
 	SplitsReceived  sim.Counter
 	SplitsPerformed sim.Counter
+
+	// FSM transition counters (Fig. 4(b) census, exported to metrics):
+	// every Ready entry the scheduler promoted to Executing, every
+	// completion that parked its node Resting to spawn children, and
+	// every entry freed on retirement. Conservation: ReadyToExecuting
+	// equals the PE's executed-task count, and RetiredEntries equals the
+	// nodes the tree ever held (executed + adopted splits).
+	ReadyToExecuting   sim.Counter
+	ExecutingToResting sim.Counter
+	RetiredEntries     sim.Counter
 }
 
 var _ pe.Policy = (*Tree)(nil)
@@ -336,6 +346,7 @@ func (t *Tree) takeReady(b *bunch) (*task.Node, int, bool) {
 		}
 		e.state = Executing
 		t.executing++
+		t.ReadyToExecuting.Inc(1)
 		t.lastBunch = b
 		return e.node, slot, true
 	}
@@ -381,6 +392,7 @@ func (t *Tree) OnComplete(n *task.Node, now sim.Time) pe.SpawnResult {
 	if n.HasMoreCands() {
 		// Task spawning: parent → Resting, children into a fresh bunch.
 		t.setState(b, n, Resting)
+		t.ExecutingToResting.Inc(1)
 		t.trackDepth(n)
 		if !t.spawnBunch(n, &res) {
 			t.pendingSpawn[n.Depth+1] = append(t.pendingSpawn[n.Depth+1], n)
@@ -550,6 +562,7 @@ func (t *Tree) freeEntry(b *bunch, n *task.Node) {
 			b.entries[i].node = nil
 			b.entries[i].state = Ready // value irrelevant once node nil
 			b.used--
+			t.RetiredEntries.Inc(1)
 			if ts := t.trees[n.TreeID]; ts != nil {
 				ts.liveWork--
 			}

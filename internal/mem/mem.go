@@ -45,6 +45,15 @@ func AccessRange(l Level, now sim.Time, addr int64, bytes int64, write bool) sim
 	return done
 }
 
+// Lines reports how many cache lines [addr, addr+bytes) spans — the
+// number of Access calls AccessRange issues for the same range.
+func Lines(addr, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (addr+bytes-1)>>LineShift - addr>>LineShift + 1
+}
+
 // DRAMConfig describes the DDR4-like main memory model. The defaults
 // approximate DDR4-3200 over 4 channels at a 1 GHz accelerator clock, the
 // Ramulator configuration in Table 3.
@@ -185,10 +194,15 @@ type Cache struct {
 	parent Level
 	mshrs  *sim.Pool
 
-	Hits       sim.Counter
-	Misses     sim.Counter
-	Writebacks sim.Counter
-	Latency    sim.WindowStat
+	Accesses sim.Counter
+	Hits     sim.Counter
+	Misses   sim.Counter
+	// MissFetches counts misses that fetched the line from the parent
+	// level (write misses under WriteAllocNoFetch allocate without
+	// fetching, so MissFetches ≤ Misses).
+	MissFetches sim.Counter
+	Writebacks  sim.Counter
+	Latency     sim.WindowStat
 }
 
 // NewCache builds a cache in front of parent. The line count
@@ -235,6 +249,7 @@ func (c *Cache) Access(now sim.Time, addr int64, write bool) sim.Time {
 	set := int(line) & (c.sets - 1)
 	base := set * c.cfg.Ways
 	c.clock++
+	c.Accesses.Inc(1)
 
 	// Hit path.
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -264,6 +279,7 @@ func (c *Cache) Access(now sim.Time, addr int64, write bool) sim.Time {
 
 	fetchDone := now + c.cfg.HitLat
 	if !write || !c.cfg.WriteAllocNoFetch {
+		c.MissFetches.Inc(1)
 		issueAt := now + c.cfg.HitLat
 		var unit int
 		if c.mshrs != nil {

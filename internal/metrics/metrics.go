@@ -1,0 +1,241 @@
+// Package metrics is the simulator's hardware-counter and
+// cycle-attribution layer: named counter families with declared
+// conservation invariants, plus a Verify pass that treats every broken
+// invariant as a modeling bug.
+//
+// The design keeps the hot path allocation-free: components accumulate
+// plain int64 fields (sim.Counter, sim.WindowStat, pool busy integrals)
+// while they run; a Registry is only materialized after the run, when
+// accel.Metrics snapshots those fields into families and declares the
+// identities that must hold between them (per-PE attributed cycles sum
+// to run cycles, tasks created = executed + adopted, cache accesses =
+// hits + misses, ...). Verify is therefore free during simulation and
+// O(counters) afterwards.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Violation describes one failed invariant.
+type Violation struct {
+	Family    string
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Family, v.Invariant, v.Detail)
+}
+
+// VerifyError aggregates every violated invariant of a Verify pass.
+type VerifyError struct {
+	Violations []Violation
+}
+
+func (e *VerifyError) Error() string {
+	if len(e.Violations) == 1 {
+		return "metrics: invariant violated: " + e.Violations[0].String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics: %d invariants violated:", len(e.Violations))
+	for _, v := range e.Violations {
+		b.WriteString("\n  " + v.String())
+	}
+	return b.String()
+}
+
+// counterVal is one named snapshot value inside a family.
+type counterVal struct {
+	name string
+	val  int64
+}
+
+// invariant is one declared identity, pre-evaluated at declaration time
+// (families are built from already-final counter values after a run).
+type invariant struct {
+	name   string
+	ok     bool
+	detail string
+}
+
+// Family is a named group of related counters and the invariants that
+// tie them together.
+type Family struct {
+	Name     string
+	counters []counterVal
+	invs     []invariant
+}
+
+// Counter records a named counter value in the family and returns it
+// unchanged (so call sites can record and use a value in one expression).
+func (f *Family) Counter(name string, v int64) int64 {
+	f.counters = append(f.counters, counterVal{name, v})
+	return v
+}
+
+// Eq declares the invariant a == b.
+func (f *Family) Eq(name string, a, b int64) {
+	f.invs = append(f.invs, invariant{
+		name:   name,
+		ok:     a == b,
+		detail: fmt.Sprintf("%d != %d (diff %d)", a, b, a-b),
+	})
+}
+
+// Sum declares the invariant total == Σ parts.
+func (f *Family) Sum(name string, total int64, parts ...int64) {
+	var s int64
+	for _, p := range parts {
+		s += p
+	}
+	f.invs = append(f.invs, invariant{
+		name:   name,
+		ok:     s == total,
+		detail: fmt.Sprintf("parts sum to %d, total is %d (diff %d)", s, total, s-total),
+	})
+}
+
+// LE declares the invariant a <= b.
+func (f *Family) LE(name string, a, b int64) {
+	f.invs = append(f.invs, invariant{
+		name:   name,
+		ok:     a <= b,
+		detail: fmt.Sprintf("%d > %d (excess %d)", a, b, a-b),
+	})
+}
+
+// GE declares the invariant a >= b.
+func (f *Family) GE(name string, a, b int64) {
+	f.invs = append(f.invs, invariant{
+		name:   name,
+		ok:     a >= b,
+		detail: fmt.Sprintf("%d < %d (short %d)", a, b, b-a),
+	})
+}
+
+// Registry is a set of counter families captured after one run.
+type Registry struct {
+	fams []*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Family creates (and registers) a new named family.
+func (r *Registry) Family(name string) *Family {
+	f := &Family{Name: name}
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Families returns the registered families in declaration order.
+func (r *Registry) Families() []*Family { return r.fams }
+
+// Verify checks every declared invariant and returns a *VerifyError
+// listing all violations, or nil when every identity holds.
+func (r *Registry) Verify() error {
+	var e VerifyError
+	for _, f := range r.fams {
+		for _, inv := range f.invs {
+			if !inv.ok {
+				e.Violations = append(e.Violations, Violation{
+					Family: f.Name, Invariant: inv.name, Detail: inv.detail,
+				})
+			}
+		}
+	}
+	if len(e.Violations) > 0 {
+		return &e
+	}
+	return nil
+}
+
+// Invariants reports the total number of declared invariants (test hook:
+// a Verify pass over zero invariants proves nothing).
+func (r *Registry) Invariants() int {
+	n := 0
+	for _, f := range r.fams {
+		n += len(f.invs)
+	}
+	return n
+}
+
+// Value looks up a counter by "family/name" path.
+func (r *Registry) Value(path string) (int64, bool) {
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return 0, false
+	}
+	fam, name := path[:i], path[i+1:]
+	for _, f := range r.fams {
+		if f.Name != fam {
+			continue
+		}
+		for _, c := range f.counters {
+			if c.name == name {
+				return c.val, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Snapshot flattens every counter into a "family/name" → value map
+// (regression comparisons, JSON export).
+func (r *Registry) Snapshot() map[string]int64 {
+	m := make(map[string]int64)
+	for _, f := range r.fams {
+		for _, c := range f.counters {
+			m[f.Name+"/"+c.name] = c.val
+		}
+	}
+	return m
+}
+
+// Report renders every family as an aligned counter table followed by
+// its invariant verdicts.
+func (r *Registry) Report() string {
+	var b strings.Builder
+	for _, f := range r.fams {
+		fmt.Fprintf(&b, "[%s]\n", f.Name)
+		w := 0
+		for _, c := range f.counters {
+			if len(c.name) > w {
+				w = len(c.name)
+			}
+		}
+		for _, c := range f.counters {
+			fmt.Fprintf(&b, "  %-*s %14d\n", w, c.name, c.val)
+		}
+		for _, inv := range f.invs {
+			mark := "ok"
+			if !inv.ok {
+				mark = "VIOLATED " + inv.detail
+			}
+			fmt.Fprintf(&b, "  invariant: %-40s %s\n", inv.name, mark)
+		}
+	}
+	return b.String()
+}
+
+// Diff compares two snapshots and returns the "family/name" keys whose
+// values differ (sorted), for metamorphic tests asserting counter
+// invariance across perturbed runs.
+func Diff(a, b map[string]int64) []string {
+	var keys []string
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || bv != av {
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

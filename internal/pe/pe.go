@@ -153,7 +153,13 @@ type PE struct {
 	monitorOn    bool
 	iuBusyAtRoll sim.Time
 
-	// Stats
+	// Stats. The seven Phase* accumulators are an exact partition of
+	// each task's slot residency: every phase span starts where the
+	// previous one ended, so per PE
+	//
+	//	ΣPhase* == ΣSlotResidency == Slots.OccupancyIntegral(end)
+	//
+	// — the cycle-attribution conservation law metrics.Verify checks.
 	LastActive     sim.Time // completion time of the latest finished task
 	PhaseDecode    sim.WindowStat
 	PhaseSPM       sim.WindowStat
@@ -168,7 +174,15 @@ type PE struct {
 	PrunedFetches  sim.Counter
 	Embeddings     int64
 	IntermediateIn int64 // intermediate input lines (Table 2 numerator)
-	isIdle         bool
+	// CSRLineReads counts graph-adjacency cache lines fetched over the
+	// L2 path (every one crosses the NoC and lands in the L2).
+	CSRLineReads int64
+	isIdle       bool
+	// Conservative-mode residency: conservEnter is the entry timestamp
+	// while in the mode, ConservCycles the accumulated cycles of
+	// completed conservative episodes.
+	conservEnter  sim.Time
+	ConservCycles sim.Time
 
 	// OnIdle, when set, is invoked (once per transition) when the PE has
 	// no running tasks and its policy has nothing runnable. The
@@ -232,6 +246,7 @@ func (p *PE) ForceConservative(on bool) {
 	if p.conservative == on {
 		return
 	}
+	p.noteConservFlip(on)
 	p.conservative = on
 	p.ConservativeTransitions.Inc(1)
 	p.policy.SetConservative(on)
@@ -323,19 +338,23 @@ func (p *PE) execute(n *task.Node, slot int) {
 		spmNeed = window
 	}
 	p.Eng.At(tDec, func() {
-		p.stageDispatch(n, prof, spmNeed, slotStart)
+		p.stageDispatch(n, prof, spmNeed, slotStart, tDec)
 	})
 }
 
-func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotStart sim.Time) {
+// stageDispatch runs the dispatch stage. stageStart is the decode-stage
+// completion time: SPM-wait retries re-enter here at later times, and
+// the SPM phase must be charged from the original stage entry so the
+// phase accumulators stay an exact partition of slot residency.
+func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotStart, stageStart sim.Time) {
 	now := p.Eng.Now()
 	if spmNeed > 0 && !p.SPM.AcquireOrWait(now, spmNeed, func() {
-		p.stageDispatch(n, prof, spmNeed, slotStart)
+		p.stageDispatch(n, prof, spmNeed, slotStart, stageStart)
 	}) {
 		return // re-entered when SPM frees
 	}
 	tDisp := p.dispatchU.Acquire(now, 1) + p.Cfg.DispatchLat
-	p.PhaseSPM.Add(tDisp - now)
+	p.PhaseSPM.Add(tDisp - stageStart)
 
 	// Fetch inputs in parallel: CSR reads bypass L1 (L2 path),
 	// intermediate reads go through L1.
@@ -344,6 +363,7 @@ func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotSta
 		var done sim.Time
 		if r.Class == task.ReadCSR {
 			done = mem.AccessRange(p.L2Path, tDisp, r.Addr, r.Bytes, false)
+			p.CSRLineReads += mem.Lines(r.Addr, r.Bytes)
 		} else {
 			done = mem.AccessRange(p.L1, tDisp, r.Addr, r.Bytes, false)
 		}
@@ -395,7 +415,9 @@ func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotSta
 		}
 	}
 
-	p.PhaseCompute.Add(tComp - tIssue)
+	// Compute is charged from dataReady so the issue latency is part of
+	// the compute span (the phase partition must be gap-free).
+	p.PhaseCompute.Add(tComp - dataReady)
 	p.PhaseWB.Add(tWB - tComp)
 	p.Eng.At(tWB, func() { p.finish(n, spmNeed, slotStart) })
 }
@@ -479,12 +501,14 @@ func (p *PE) monitorTick() {
 	// latency) AND low PE throughput. Exit with hysteresis.
 	if !p.conservative {
 		if hasData && avgLat > p.Cfg.ConservLatThresh && iuUtil < p.Cfg.ConservUtilThresh {
+			p.noteConservFlip(true)
 			p.conservative = true
 			p.ConservativeTransitions.Inc(1)
 			p.policy.SetConservative(true)
 		}
 	} else {
 		if !hasData || avgLat < 0.6*p.Cfg.ConservLatThresh {
+			p.noteConservFlip(false)
 			p.conservative = false
 			p.ConservativeTransitions.Inc(1)
 			p.policy.SetConservative(false)
@@ -493,6 +517,26 @@ func (p *PE) monitorTick() {
 	}
 	_ = now
 	p.ensureMonitor()
+}
+
+// noteConservFlip accounts conservative-mode residency at a transition.
+func (p *PE) noteConservFlip(on bool) {
+	now := p.Eng.Now()
+	if on {
+		p.conservEnter = now
+	} else {
+		p.ConservCycles += now - p.conservEnter
+	}
+}
+
+// ConservResidency reports total cycles spent in conservative mode
+// through `end`, including a still-open episode.
+func (p *PE) ConservResidency(end sim.Time) sim.Time {
+	r := p.ConservCycles
+	if p.conservative && end > p.conservEnter {
+		r += end - p.conservEnter
+	}
+	return r
 }
 
 // IUUtilization reports all-time IU utilization over elapsed cycles.

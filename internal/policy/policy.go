@@ -63,6 +63,8 @@ type Tokens struct {
 	next         int
 	peak         int
 	totalInUse   int
+	acquired     int64
+	released     int64
 }
 
 // NewTokens builds per-depth pools for a schedule with `depths` matching
@@ -91,6 +93,7 @@ func (t *Tokens) TryAcquire(depth int) (slot int, ok bool) {
 	}
 	t.inUse[depth]++
 	t.totalInUse++
+	t.acquired++
 	if t.totalInUse > t.peak {
 		t.peak = t.totalInUse
 	}
@@ -112,6 +115,7 @@ func (t *Tokens) Release(depth, slot int) {
 	}
 	t.inUse[depth]--
 	t.totalInUse--
+	t.released++
 	if t.inUse[depth] < 0 || t.totalInUse < 0 {
 		panic("policy: token over-release")
 	}
@@ -136,6 +140,13 @@ func (t *Tokens) TotalInUse() int { return t.totalInUse }
 // Peak reports the maximum simultaneous slots held (memory footprint
 // proxy, used by the BFS explosion measurements).
 func (t *Tokens) Peak() int { return t.peak }
+
+// Acquired reports total token grants (conservation: Acquired ==
+// Released + TotalInUse at any instant).
+func (t *Tokens) Acquired() int64 { return t.acquired }
+
+// Released reports total token returns.
+func (t *Tokens) Released() int64 { return t.released }
 
 // base carries the machinery shared by the baseline policies.
 type base struct {

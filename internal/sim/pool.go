@@ -9,10 +9,11 @@ package sim
 // call order, which matches an in-order arbiter granting requests as they
 // arrive.
 type Pool struct {
-	name    string
-	until   []Time
-	busy    Time
-	perturb Perturber
+	name     string
+	until    []Time
+	busy     Time
+	acquires int64
+	perturb  Perturber
 }
 
 // NewPool creates a pool of n units.
@@ -53,6 +54,7 @@ func (p *Pool) Acquire(now Time, dur Time) Time {
 	}
 	p.until[best] = start + dur
 	p.busy += dur
+	p.acquires++
 	return start
 }
 
@@ -72,6 +74,7 @@ func (p *Pool) AcquireDynamic(now Time) (unit int, start Time) {
 		start = now
 	}
 	p.until[best] = start
+	p.acquires++
 	return best, start
 }
 
@@ -97,6 +100,9 @@ func (p *Pool) NextFree() Time {
 // Busy returns the accumulated busy cycles across all units.
 func (p *Pool) Busy() Time { return p.busy }
 
+// Acquires reports the total reservations made (hardware-counter export).
+func (p *Pool) Acquires() int64 { return p.acquires }
+
 // Utilization returns busy cycles divided by capacity over elapsed cycles.
 func (p *Pool) Utilization(elapsed Time) float64 {
 	if elapsed <= 0 {
@@ -119,6 +125,9 @@ type Semaphore struct {
 	levelCycles  Time
 	peakInUse    int
 	acquireCount int64
+	// units conservation (acquired - released must equal inUse)
+	unitsAcquired int64
+	unitsReleased int64
 }
 
 // NewSemaphore creates a semaphore with capacity c.
@@ -150,6 +159,7 @@ func (s *Semaphore) TryAcquire(now Time, n int) bool {
 	s.account(now)
 	s.inUse += n
 	s.acquireCount++
+	s.unitsAcquired += int64(n)
 	if s.inUse > s.peakInUse {
 		s.peakInUse = s.inUse
 	}
@@ -176,6 +186,7 @@ func (s *Semaphore) AcquireOrWait(now Time, n int, fn func()) bool {
 func (s *Semaphore) Release(now Time, n int) {
 	s.account(now)
 	s.inUse -= n
+	s.unitsReleased += int64(n)
 	if s.inUse < 0 {
 		panic("sim: semaphore over-release: " + s.name)
 	}
@@ -201,6 +212,20 @@ func (s *Semaphore) AvgOccupancy(now Time) float64 {
 	total := s.levelCycles + Time(s.inUse)*(now-s.lastChange)
 	return float64(total) / float64(now)
 }
+
+// OccupancyIntegral reports the exact unit-cycle integral through `now`:
+// the sum over all holders of (release − acquire) cycles, plus the span
+// still held. It is the conservation-law counterpart of AvgOccupancy —
+// per-PE slot residency sums must match it to the cycle.
+func (s *Semaphore) OccupancyIntegral(now Time) Time {
+	return s.levelCycles + Time(s.inUse)*(now-s.lastChange)
+}
+
+// UnitsAcquired reports the total units ever granted.
+func (s *Semaphore) UnitsAcquired() int64 { return s.unitsAcquired }
+
+// UnitsReleased reports the total units ever returned.
+func (s *Semaphore) UnitsReleased() int64 { return s.unitsReleased }
 
 // Peak reports the peak concurrent units held.
 func (s *Semaphore) Peak() int { return s.peakInUse }

@@ -151,6 +151,13 @@ type Workload struct {
 	pathBuf  []graph.VertexID
 	free     [][]graph.VertexID // Cand slice free list
 	nodeFree []*Node
+
+	// Task-flow hardware counters (metrics.Verify conservation: every
+	// created node is either executed locally or adopted pre-executed
+	// from a split transfer, and every node is eventually released).
+	NodesCreated  int64
+	NodesReleased int64
+	Executions    int64
 }
 
 // NewWorkload creates a workload; slots are the total number of
@@ -190,6 +197,7 @@ func (w *Workload) NewNode(depth int, v graph.VertexID, parent *Node, treeID int
 	if parent != nil {
 		parent.Live++
 	}
+	w.NodesCreated++
 	return n
 }
 
@@ -213,6 +221,7 @@ func (w *Workload) Release(n *Node) *Node {
 	}
 	n.Parent = nil
 	w.nodeFree = append(w.nodeFree, n)
+	w.NodesReleased++
 	return parent
 }
 
@@ -258,6 +267,7 @@ func (w *Workload) Execute(n *Node, slot int) Profile {
 		panic("task: node executed twice")
 	}
 	n.Executed = true
+	w.Executions++
 	n.Slot = slot
 
 	var prof Profile

@@ -29,11 +29,15 @@ type Tracer interface {
 	TaskDone(Event)
 }
 
-// JSONL streams events as JSON lines.
+// JSONL streams events as JSON lines. The first write error is sticky:
+// encoding stops (later events are dropped rather than interleaved into
+// a torn stream) and Err reports it so callers can fail loudly instead
+// of shipping a silently truncated trace.
 type JSONL struct {
 	mu  sync.Mutex
 	enc *json.Encoder
 	n   int64
+	err error
 }
 
 // NewJSONL wraps w.
@@ -43,15 +47,29 @@ func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
 func (j *JSONL) TaskDone(ev Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(ev); err != nil {
+		j.err = fmt.Errorf("trace: event %d: %w", j.n, err)
+		return
+	}
 	j.n++
-	_ = j.enc.Encode(ev)
 }
 
-// Count reports emitted events.
+// Count reports successfully emitted events.
 func (j *JSONL) Count() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.n
+}
+
+// Err returns the first write error, if any. Check it after the run:
+// a non-nil error means the trace is truncated at Count() events.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
 }
 
 // Summary aggregates latency statistics per depth.
@@ -60,13 +78,21 @@ type Summary struct {
 	depths map[int]*depthStats
 }
 
+// depthStats downsamples latencies by stride decimation: keep every
+// stride-th observation; when the buffer fills, drop every other kept
+// sample and double the stride. The kept samples are always evenly
+// spaced over the WHOLE stream (a first-N reservoir would represent only
+// the warm-up and bias P50/P99 toward early, typically shorter tasks),
+// and the process is deterministic — same stream, same samples.
 type depthStats struct {
-	count     int64
-	totalLat  int64
-	latencies []int64 // reservoir for percentiles (capped)
+	count    int64
+	totalLat int64
+	samples  []int64
+	stride   int64
+	skip     int64 // observations to drop before the next kept one
 }
 
-const reservoirCap = 1 << 14
+const sampleCap = 1 << 14
 
 // NewSummary builds an empty aggregator.
 func NewSummary() *Summary { return &Summary{depths: map[int]*depthStats{}} }
@@ -77,14 +103,28 @@ func (s *Summary) TaskDone(ev Event) {
 	defer s.mu.Unlock()
 	d := s.depths[ev.Depth]
 	if d == nil {
-		d = &depthStats{}
+		d = &depthStats{stride: 1}
 		s.depths[ev.Depth] = d
 	}
 	lat := ev.Done - ev.Start
 	d.count++
 	d.totalLat += lat
-	if len(d.latencies) < reservoirCap {
-		d.latencies = append(d.latencies, lat)
+	if d.skip > 0 {
+		d.skip--
+		return
+	}
+	d.samples = append(d.samples, lat)
+	d.skip = d.stride - 1
+	if len(d.samples) == sampleCap {
+		// Compact: keep even positions so the survivors sit on a
+		// uniform 2×stride grid. The pending skip already points at the
+		// next even multiple of the old stride (sampleCap is even), so
+		// the next kept sample lands on the new grid too.
+		for i := 0; i < sampleCap/2; i++ {
+			d.samples[i] = d.samples[2*i]
+		}
+		d.samples = d.samples[:sampleCap/2]
+		d.stride *= 2
 	}
 }
 
@@ -107,8 +147,8 @@ func (s *Summary) Report() []DepthReport {
 		if d.count > 0 {
 			r.AvgLat = float64(d.totalLat) / float64(d.count)
 		}
-		if len(d.latencies) > 0 {
-			sorted := append([]int64(nil), d.latencies...)
+		if len(d.samples) > 0 {
+			sorted := append([]int64(nil), d.samples...)
 			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 			r.P50 = sorted[len(sorted)/2]
 			r.P99 = sorted[len(sorted)*99/100]

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -80,5 +81,106 @@ func TestJSONLAndSummaryFromSimulation(t *testing.T) {
 	}
 	if !strings.Contains(summary.String(), "p99") {
 		t.Fatal("summary table malformed")
+	}
+}
+
+// failAfter fails every write after the first n bytes have been accepted.
+type failAfter struct {
+	remaining int
+	writes    int
+}
+
+type errWriterFull struct{}
+
+func (errWriterFull) Error() string { return "disk full" }
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.remaining <= 0 {
+		return 0, errWriterFull{}
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+// TestJSONLWriteError asserts the first write failure is recorded, later
+// events stop hitting the writer, and Count reflects only the events
+// that made it out.
+func TestJSONLWriteError(t *testing.T) {
+	w := &failAfter{remaining: 1} // first event fits, second fails
+	j := trace.NewJSONL(w)
+
+	j.TaskDone(trace.Event{PE: 0, Start: 0, Done: 5})
+	if err := j.Err(); err != nil {
+		t.Fatalf("unexpected error after successful write: %v", err)
+	}
+	j.TaskDone(trace.Event{PE: 1, Start: 5, Done: 9})
+	err := j.Err()
+	if err == nil {
+		t.Fatal("write error not recorded")
+	}
+	if !errors.Is(err, errWriterFull{}) {
+		t.Fatalf("recorded error %v does not wrap the writer's", err)
+	}
+	if j.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (only the successful event)", j.Count())
+	}
+
+	// Encoding must stop: further events neither touch the writer nor
+	// clobber the first error.
+	writesBefore := w.writes
+	j.TaskDone(trace.Event{PE: 2, Start: 9, Done: 12})
+	if w.writes != writesBefore {
+		t.Fatal("writer still invoked after sticky error")
+	}
+	if got := j.Err(); got != err {
+		t.Fatalf("first error clobbered: %v -> %v", err, got)
+	}
+}
+
+// TestSummaryStrideSampling feeds a latency stream whose distribution
+// shifts after the old reservoir's 16k-sample capacity: short warm-up
+// tasks first, then 3× as many long tasks. A first-N reservoir reports
+// the warm-up percentile (P50 = 1); stride decimation samples the whole
+// stream, so both P50 and P99 must land in the dominant late phase.
+func TestSummaryStrideSampling(t *testing.T) {
+	s := trace.NewSummary()
+	emit := func(n int, lat int64) {
+		for i := 0; i < n; i++ {
+			s.TaskDone(trace.Event{Depth: 1, Start: 0, Done: lat})
+		}
+	}
+	emit(1<<14, 1)   // exactly the old reservoir capacity
+	emit(3<<14, 100) // 3/4 of the stream: P50 and P99 are here
+
+	rep := s.Report()
+	if len(rep) != 1 {
+		t.Fatalf("want one depth row, got %d", len(rep))
+	}
+	r := rep[0]
+	if r.Tasks != 4<<14 {
+		t.Fatalf("tasks = %d, want %d", r.Tasks, 4<<14)
+	}
+	if r.P50 != 100 {
+		t.Fatalf("P50 = %d, want 100 (first-N reservoir bias would report 1)", r.P50)
+	}
+	if r.P99 != 100 {
+		t.Fatalf("P99 = %d, want 100", r.P99)
+	}
+
+	// A uniform ramp must report percentiles near their exact values
+	// even far past the buffer capacity (sampling stays uniform over
+	// the whole stream after repeated compactions).
+	s2 := trace.NewSummary()
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		s2.TaskDone(trace.Event{Depth: 0, Start: 0, Done: int64(i + 1)})
+	}
+	r2 := s2.Report()[0]
+	if tol := int64(n / 50); r2.P50 < n/2-tol || r2.P50 > n/2+tol {
+		t.Fatalf("P50 = %d, want ≈ %d", r2.P50, n/2)
+	}
+	if tol := int64(n / 50); r2.P99 < n*99/100-tol {
+		t.Fatalf("P99 = %d, want ≈ %d", r2.P99, n*99/100)
 	}
 }
