@@ -26,6 +26,7 @@ import (
 	"shogun/internal/mine"
 	"shogun/internal/pattern"
 	"shogun/internal/sim"
+	"shogun/internal/telemetry"
 	"shogun/internal/trace"
 )
 
@@ -53,13 +54,17 @@ func main() {
 		deadline = flag.Int64("deadline", 0, "abort after this many simulated cycles (0 = none)")
 		maxEv    = flag.Int64("maxevents", 0, "abort after this many simulation events (0 = none)")
 		maxWall  = flag.Duration("maxwall", 0, "abort after this much wall-clock time (0 = none)")
+		sampleEv = flag.Int64("sample-every", 0, "sample telemetry gauges every N cycles (0 = off)")
+		tsOut    = flag.String("timeseries-out", "", "write the sampled telemetry series to file (.json = JSON, else CSV; needs -sample-every)")
+		httpAddr = flag.String("http", "", "serve live inspection endpoints (JSON snapshot, expvar, pprof) on host:port (\":0\" picks a port)")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the simulation at the next watchdog poll;
 	// the run loop flushes a diagnostic snapshot and exits non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall); err != nil {
+	tf := telemetryFlags{sampleEvery: *sampleEv, timeseriesOut: *tsOut, httpAddr: *httpAddr}
+	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall, tf); err != nil {
 		fmt.Fprintln(os.Stderr, "shogun:", err)
 		var inv *sim.InvariantError
 		var dead *sim.DeadlockError
@@ -73,7 +78,35 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration) error {
+// telemetryFlags carries the time-resolved telemetry options (-sample-every,
+// -timeseries-out, -http) through to run.
+type telemetryFlags struct {
+	sampleEvery   int64
+	timeseriesOut string
+	httpAddr      string
+}
+
+// validate rejects inconsistent or malformed telemetry flags before any
+// simulation work starts.
+func (tf telemetryFlags) validate() error {
+	if tf.sampleEvery < 0 {
+		return fmt.Errorf("-sample-every must be a positive cycle count (got %d)", tf.sampleEvery)
+	}
+	if tf.timeseriesOut != "" && tf.sampleEvery == 0 {
+		return fmt.Errorf("-timeseries-out needs -sample-every > 0 (nothing is sampled otherwise)")
+	}
+	if tf.httpAddr != "" {
+		if err := telemetry.ValidateAddr(tf.httpAddr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration, tf telemetryFlags) error {
+	if err := tf.validate(); err != nil {
+		return err
+	}
 	var g *graph.Graph
 	var err error
 	switch {
@@ -131,6 +164,9 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 	if maxWall > 0 {
 		cfg.MaxWall = maxWall
 	}
+	if tf.sampleEvery > 0 {
+		cfg.SampleEvery = sim.Time(tf.sampleEvery)
+	}
 
 	summary := trace.NewSummary()
 	timeline := trace.NewTimeline()
@@ -170,6 +206,35 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 	if err != nil {
 		return err
 	}
+	if tf.httpAddr != "" {
+		srv, err := telemetry.NewServer(tf.httpAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		tel := a.Telemetry()
+		srv.HandleJSON("/telemetry.json", func() any {
+			var snap telemetry.RunSnapshot
+			if tel != nil {
+				snap.Samples = tel.Sampler.Snapshot()
+				snap.Histograms = tel.Histograms()
+			}
+			return snap
+		})
+		telemetry.PublishVar("run", func() any {
+			info := map[string]any{"scheme": scheme, "pattern": s.Name, "pes": pes}
+			if tel != nil {
+				if cyc, ok := tel.Sampler.Last("engine/events"); ok {
+					info["engine/events"] = cyc
+				}
+				if done, ok := tel.Sampler.Last("tasks/executed"); ok {
+					info["tasks/executed"] = done
+				}
+			}
+			return info
+		})
+		fmt.Printf("live inspection: http://%s/ (telemetry.json, debug/vars, debug/pprof)\n", srv.Addr())
+	}
 	res, err := a.RunContext(ctx)
 	if err != nil {
 		if errors.Is(err, sim.ErrCancelled) {
@@ -196,12 +261,31 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 	fmt.Printf("cycle breakdown: compute=%.1f%% memstall=%.1f%% sched=%.1f%% idle=%.1f%%\n",
 		bdPct(res.Breakdown.Compute, res.Breakdown), bdPct(res.Breakdown.MemStall, res.Breakdown),
 		bdPct(res.Breakdown.Scheduling, res.Breakdown), bdPct(res.Breakdown.Idle, res.Breakdown))
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
+	// Multi.Err surfaces the first deferred failure from any attached
+	// writer (a full disk mid-run must not pass silently as a short trace).
+	if err := tracers.Err(); err != nil {
+		if jsonl != nil {
 			return fmt.Errorf("trace truncated after %d events: %w", jsonl.Count(), err)
 		}
+		return fmt.Errorf("trace: %w", err)
+	}
+	if tf.timeseriesOut != "" {
+		if err := writeTimeSeries(tf.timeseriesOut, res.Telemetry); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry series: %s (%d epochs, every %d cycles)\n",
+			tf.timeseriesOut, len(res.Telemetry.Cycles), res.Telemetry.Interval)
 	}
 	if chrome != nil {
+		// Fold the sampler's system-level gauges in as counter tracks
+		// (per-PE occupancy already derives from the task spans).
+		if res.Telemetry != nil {
+			for _, series := range res.Telemetry.Series {
+				if !strings.HasPrefix(series.Name, "pe") {
+					chrome.AddCounterSeries(series.Name, res.Telemetry.Cycles, series.Vals)
+				}
+			}
+		}
 		f, err := os.Create(chromeOut)
 		if err != nil {
 			return err
@@ -251,6 +335,28 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 		fmt.Printf("verify: OK (software miner agrees: %d)\n", want)
 	}
 	return nil
+}
+
+// writeTimeSeries exports the sampled telemetry: JSON when the file name
+// ends in .json, the wide CSV (one column per gauge) otherwise.
+func writeTimeSeries(path string, ts *telemetry.TimeSeries) error {
+	if ts == nil || len(ts.Cycles) == 0 {
+		return fmt.Errorf("timeseries-out: run produced no samples")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = ts.WriteJSON(f)
+	} else {
+		err = ts.WriteCSV(f)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("timeseries-out: %w", err)
+	}
+	return f.Close()
 }
 
 // bdPct renders one attribution category as a percentage of the total.

@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"shogun/internal/bench"
+	"shogun/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +39,20 @@ func main() {
 		cellEv   = flag.Int64("cellevents", 0, "event budget per grid cell (0 = none)")
 		metricsF = flag.Bool("metrics", false, "log a per-cell hardware-counter digest (implies -v)")
 		traceDir = flag.String("trace-out", "", "write one Chrome trace JSON per cell into this directory")
+		sampleEv = flag.Int64("sample-every", 0, "turn on the telemetry epoch sampler in every cell (cycles between samples, 0 = off)")
+		httpAddr = flag.String("http", "", "serve a live progress page on host:port (\":0\" picks a port)")
 	)
 	flag.Parse()
+	if *sampleEv < 0 {
+		fmt.Fprintf(os.Stderr, "shogunbench: -sample-every must be a positive cycle count (got %d)\n", *sampleEv)
+		os.Exit(1)
+	}
+	if *httpAddr != "" {
+		if err := telemetry.ValidateAddr(*httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "shogunbench:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -54,9 +67,25 @@ func main() {
 	defer stop()
 
 	o := bench.Options{Quick: *quick, Workers: *workers, Ctx: ctx, CellTimeout: *cellTO, CellMaxEvents: *cellEv,
-		Metrics: *metricsF, TraceDir: *traceDir}
+		Metrics: *metricsF, TraceDir: *traceDir, SampleEvery: *sampleEv}
 	if *verbose || *metricsF {
 		o.Log = os.Stderr
+	}
+	if *httpAddr != "" {
+		prog := telemetry.NewProgress()
+		o.Progress = prog
+		srv, err := telemetry.NewServer(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shogunbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		srv.HandleText("/progress", prog.Text)
+		srv.HandleJSON("/progress.json", func() any {
+			done, failed, total := prog.Counts()
+			return map[string]int{"done": done, "failed": failed, "total": total}
+		})
+		fmt.Fprintf(os.Stderr, "live progress: http://%s/progress\n", srv.Addr())
 	}
 
 	fail := func(err error) {
@@ -107,6 +136,9 @@ func main() {
 	e, err := bench.Lookup(*exp)
 	if err != nil {
 		fail(err)
+	}
+	if o.Progress != nil {
+		o.Progress.SetStage(e.ID)
 	}
 	tables, err := e.Run(o)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"shogun/internal/policy"
 	"shogun/internal/sim"
 	"shogun/internal/task"
+	"shogun/internal/telemetry"
 	"shogun/internal/trace"
 )
 
@@ -87,6 +88,15 @@ type Config struct {
 	// invariant. On by default; the counters themselves are always
 	// collected — this only controls the post-run check.
 	VerifyMetrics bool
+	// SampleEvery, when > 0, turns on the telemetry epoch sampler: every
+	// SampleEvery cycles the run snapshots its live gauges (per-PE
+	// residency, SPM/token/bunch occupancy, MSHR and DRAM queue depths,
+	// NoC in-flight messages) and the latency histograms observe every
+	// access. Zero keeps the hot path observation-free.
+	SampleEvery sim.Time
+	// SampleCap bounds retained sampler epochs (0 = telemetry default);
+	// on overflow the ring decimates 2× and the epoch spacing doubles.
+	SampleCap int
 }
 
 // DefaultConfig mirrors Table 3 for the given scheme.
@@ -134,6 +144,8 @@ type Accelerator struct {
 	splitPending map[int]bool
 	balanceArmed bool
 	mergeArmed   bool
+	samplerArmed bool
+	tel          *Telemetry
 
 	Splits sim.Counter
 	Merges sim.Counter
@@ -211,6 +223,9 @@ func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) 
 	}
 	if cfg.Perturb != nil {
 		a.installPerturb(cfg.Perturb)
+	}
+	if err := a.initTelemetry(); err != nil {
+		return nil, err
 	}
 	return a, nil
 }
@@ -302,6 +317,10 @@ type Result struct {
 	Breakdown CycleBreakdown
 
 	Events int64
+
+	// Telemetry is the sampler's time-series snapshot (nil when sampling
+	// was off).
+	Telemetry *telemetry.TimeSeries `json:",omitempty"`
 }
 
 // Run simulates to completion and returns the result. It is
@@ -333,6 +352,7 @@ func (a *Accelerator) RunContext(ctx context.Context) (res *Result, err error) {
 		p.Kick()
 	}
 	a.armMerge()
+	a.armSampler()
 	b := sim.Budget{
 		MaxEvents:  a.cfg.MaxEvents,
 		Deadline:   a.cfg.Deadline,
@@ -467,6 +487,9 @@ func (a *Accelerator) collect() *Result {
 		r.IntermediateLinesPerTask = float64(interLines) / float64(r.Tasks+r.LeafTasks)
 	}
 	r.Splits = a.Splits.Total
+	if a.tel != nil {
+		r.Telemetry = a.tel.Sampler.Snapshot()
+	}
 	return r
 }
 

@@ -133,6 +133,9 @@ func (a *Accelerator) transferSplit(victim *pe.PE, helpers []*pe.PE, root *task.
 		if len(cand) > 0 {
 			lines = (int64(len(cand))*4 + mem.LineBytes - 1) / mem.LineBytes
 		}
+		if a.tel != nil {
+			a.tel.SplitLines.Observe(lines)
+		}
 		// Two control messages + the data lines (§4.1's three types).
 		a.noc.Transfer(now, 0)
 		a.noc.Transfer(now, 0)
@@ -205,6 +208,9 @@ func (a *Accelerator) ForceSplit() bool {
 			lines := int64(0)
 			if len(cand) > 0 {
 				lines = (int64(len(cand))*4 + mem.LineBytes - 1) / mem.LineBytes
+			}
+			if a.tel != nil {
+				a.tel.SplitLines.Observe(lines)
 			}
 			a.noc.Transfer(now, 0)
 			a.noc.Transfer(now, 0)

@@ -52,6 +52,7 @@ func Experiments() []Experiment {
 		{"fig14", "locality monitoring necessity (enlarged L1)", wrap1(Fig14)},
 		{"ablation", "design-choice ablation: sibling pref, monitor, tokens, bunches (extension)", wrap1(Ablation)},
 		{"breakdown", "cycle-attribution breakdown per scheme (observability extension)", wrap1(Breakdown)},
+		{"imbalance", "load imbalance over time, split on/off (telemetry extension)", wrap1(Imbalance)},
 		{"scaling", "strong scaling across PE counts, split on/off (extension)", wrap1(Scaling)},
 	}
 }
@@ -82,6 +83,9 @@ func RunAllFormat(o Options, w io.Writer, format string) error {
 			continue
 		}
 		o.logf("== running %s (%s)", e.ID, e.Desc)
+		if o.Progress != nil {
+			o.Progress.SetStage(e.ID)
+		}
 		tables, err := e.Run(o)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)

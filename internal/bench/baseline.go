@@ -24,6 +24,9 @@ func CollectAll(o Options) ([]*Table, error) {
 			continue
 		}
 		o.logf("== running %s (%s)", e.ID, e.Desc)
+		if o.Progress != nil {
+			o.Progress.SetStage(e.ID)
+		}
 		tables, err := e.Run(o)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.ID, err)

@@ -37,7 +37,7 @@ func TestGeomean(t *testing.T) {
 }
 
 func TestLookupAndExperimentList(t *testing.T) {
-	ids := []string{"table1", "table2", "table3", "table4", "fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation", "scaling", "breakdown"}
+	ids := []string{"table1", "table2", "table3", "table4", "fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation", "scaling", "breakdown", "imbalance"}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {
 			t.Errorf("Lookup(%q): %v", id, err)

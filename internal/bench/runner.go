@@ -22,6 +22,7 @@ import (
 	"shogun/internal/mine"
 	"shogun/internal/pattern"
 	"shogun/internal/sim"
+	"shogun/internal/telemetry"
 	"shogun/internal/trace"
 )
 
@@ -58,6 +59,13 @@ type Options struct {
 	// each successful cell (counter conservation itself is verified
 	// inside every run — accel.Config.VerifyMetrics defaults on).
 	Metrics bool
+	// SampleEvery, when > 0, turns on the telemetry epoch sampler for
+	// every cell that does not already configure one (cycles between
+	// samples; see accel.Config.SampleEvery).
+	SampleEvery int64
+	// Progress, when non-nil, receives per-cell completion updates for
+	// the live progress page (-http on shogunbench).
+	Progress *telemetry.Progress
 }
 
 func (o Options) ctx() context.Context {
@@ -153,6 +161,9 @@ func runCells(o Options, cells []cell) (*Grid, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	if o.Progress != nil {
+		o.Progress.Add(len(cells))
+	}
 	jobs := make(chan cell)
 	outs := make(chan outcome, len(cells))
 	var wg sync.WaitGroup
@@ -162,6 +173,9 @@ func runCells(o Options, cells []cell) (*Grid, error) {
 			defer wg.Done()
 			for c := range jobs {
 				res, err := runOne(o, c)
+				if o.Progress != nil {
+					o.Progress.Cell(c.key, err)
+				}
 				outs <- outcome{c.key, res, err}
 			}
 		}()
@@ -251,6 +265,9 @@ func runOne(o Options, c cell) (res *accel.Result, err error) {
 	if o.CellMaxEvents > 0 && (cfg.MaxEvents == 0 || o.CellMaxEvents < cfg.MaxEvents) {
 		cfg.MaxEvents = o.CellMaxEvents
 	}
+	if o.SampleEvery > 0 && cfg.SampleEvery == 0 {
+		cfg.SampleEvery = sim.Time(o.SampleEvery)
+	}
 	var chrome *trace.Chrome
 	if o.TraceDir != "" {
 		chrome = trace.NewChrome()
@@ -271,6 +288,15 @@ func runOne(o Options, c cell) (res *accel.Result, err error) {
 		}
 	}
 	if chrome != nil {
+		// Fold the sampler's system-level gauges into the trace as counter
+		// tracks (per-PE occupancy is already derived from the task spans).
+		if res.Telemetry != nil {
+			for _, series := range res.Telemetry.Series {
+				if !strings.HasPrefix(series.Name, "pe") {
+					chrome.AddCounterSeries(series.Name, res.Telemetry.Cycles, series.Vals)
+				}
+			}
+		}
 		if err := writeCellTrace(o.TraceDir, c.key, chrome); err != nil {
 			return nil, err
 		}

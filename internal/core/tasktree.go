@@ -686,6 +686,22 @@ func (t *Tree) CarveSplit(root *task.Node, helpers int) (lo, hi int, ok bool) {
 // StateSummary renders a one-line FSM census for diagnostic snapshots:
 // live trees, executing entries, and per-state entry counts across all
 // bunches.
+// LiveEntries counts the occupied task-SPM entries across all bunches —
+// the telemetry gauge for bunch occupancy.
+func (t *Tree) LiveEntries() int {
+	entries := 0
+	for d := range t.bunches {
+		for _, b := range t.bunches[d] {
+			for _, e := range b.entries {
+				if e.node != nil {
+					entries++
+				}
+			}
+		}
+	}
+	return entries
+}
+
 func (t *Tree) StateSummary() string {
 	var byState [4]int
 	entries := 0

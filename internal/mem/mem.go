@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"shogun/internal/sim"
+	"shogun/internal/telemetry"
 )
 
 // LineBytes is the cache line size used throughout (Table 3).
@@ -149,6 +150,17 @@ func (d *DRAM) Access(now sim.Time, addr int64, write bool) sim.Time {
 	return done
 }
 
+// QueueDepth reports how many channels are still reserved past `now` —
+// the row of busy DRAM channels a telemetry gauge sees at an epoch
+// boundary.
+func (d *DRAM) QueueDepth(now sim.Time) int {
+	n := 0
+	for _, ch := range d.channels {
+		n += ch.InFlightAt(now)
+	}
+	return n
+}
+
 // BusyCycles reports total channel busy cycles (bandwidth consumption).
 func (d *DRAM) BusyCycles() sim.Time {
 	var b sim.Time
@@ -193,6 +205,10 @@ type Cache struct {
 	clock  int64
 	parent Level
 	mshrs  *sim.Pool
+
+	// LatHist, when non-nil, receives every access latency (telemetry
+	// histogram; nil keeps the hot path observation-free).
+	LatHist *telemetry.Histogram
 
 	Accesses sim.Counter
 	Hits     sim.Counter
@@ -260,6 +276,7 @@ func (c *Cache) Access(now sim.Time, addr int64, write bool) sim.Time {
 			}
 			c.Hits.Inc(1)
 			c.Latency.Add(c.cfg.HitLat)
+			c.LatHist.Observe(int64(c.cfg.HitLat))
 			return now + c.cfg.HitLat
 		}
 	}
@@ -303,7 +320,18 @@ func (c *Cache) Access(now sim.Time, addr int64, write bool) sim.Time {
 
 	done := fetchDone + c.cfg.HitLat
 	c.Latency.Add(done - now)
+	c.LatHist.Observe(int64(done - now))
 	return done
+}
+
+// MSHRInFlight reports the MSHR entries still occupied past `now` (0 when
+// the MSHR file is unbounded) — a telemetry gauge for miss-level
+// parallelism pressure.
+func (c *Cache) MSHRInFlight(now sim.Time) int {
+	if c.mshrs == nil {
+		return 0
+	}
+	return c.mshrs.InFlightAt(now)
 }
 
 // Contains reports whether the line holding addr is resident (test hook).

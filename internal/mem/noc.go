@@ -60,6 +60,12 @@ func (n *NoC) Utilization(elapsed sim.Time) float64 {
 	return n.links.Utilization(elapsed)
 }
 
+// InFlight reports the links still occupied past `now` — the in-flight
+// message gauge a telemetry sampler reads at an epoch boundary.
+func (n *NoC) InFlight(now sim.Time) int {
+	return n.links.InFlightAt(now)
+}
+
 // Path wraps a memory level behind the NoC: each line access crosses the
 // fabric (request) and returns (response latency folded into HopLat on
 // both directions).

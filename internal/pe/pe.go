@@ -14,6 +14,7 @@ import (
 	"shogun/internal/mem"
 	"shogun/internal/sim"
 	"shogun/internal/task"
+	"shogun/internal/telemetry"
 	"shogun/internal/trace"
 )
 
@@ -190,6 +191,11 @@ type PE struct {
 	OnIdle func(p *PE)
 	// Tracer, when set, receives one event per completed task.
 	Tracer trace.Tracer
+	// LifetimeHist and QueueWaitHist, when non-nil, receive each task's
+	// slot residency (dispatch→spawn-done) and its SPM+dispatch wait span.
+	// Nil histograms make the observations free (nil-receiver no-ops).
+	LifetimeHist  *telemetry.Histogram
+	QueueWaitHist *telemetry.Histogram
 	// ConservativeTransitions counts monitor-driven mode switches.
 	ConservativeTransitions sim.Counter
 	// LastSample is the most recent monitor observation.
@@ -355,6 +361,7 @@ func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotSta
 	}
 	tDisp := p.dispatchU.Acquire(now, 1) + p.Cfg.DispatchLat
 	p.PhaseSPM.Add(tDisp - stageStart)
+	p.QueueWaitHist.Observe(int64(tDisp - stageStart))
 
 	// Fetch inputs in parallel: CSR reads bypass L1 (L2 path),
 	// intermediate reads go through L1.
@@ -454,6 +461,7 @@ func (p *PE) finish(n *task.Node, spmHeld int, slotStart sim.Time) {
 	p.PhaseLeaf.Add(tDone - leafStart)
 
 	p.SlotResidency.Add(tDone - slotStart)
+	p.LifetimeHist.Observe(int64(tDone - slotStart))
 	if tDone > p.LastActive {
 		p.LastActive = tDone
 	}

@@ -86,6 +86,18 @@ func (p *Pool) ReleaseAt(unit int, t Time) {
 	}
 }
 
+// InFlightAt reports how many units are still reserved past `now` — the
+// instantaneous queue depth a telemetry gauge sees at an epoch boundary.
+func (p *Pool) InFlightAt(now Time) int {
+	n := 0
+	for _, u := range p.until {
+		if u > now {
+			n++
+		}
+	}
+	return n
+}
+
 // NextFree reports the earliest time any unit becomes available.
 func (p *Pool) NextFree() Time {
 	best := p.until[0]

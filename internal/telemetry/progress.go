@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress tracks a long bench grid for the live progress page: cells
+// finished/failed per stage, the most recent outcomes, and elapsed wall
+// time. All methods are safe for concurrent use (grid workers update it
+// while the HTTP server renders it).
+type Progress struct {
+	mu      sync.Mutex
+	started time.Time
+	stage   string
+	total   int
+	done    int
+	failed  int
+	recent  []string // ring of the latest outcome lines
+}
+
+// progressRecent bounds the recent-outcome ring.
+const progressRecent = 12
+
+// NewProgress returns an empty tracker.
+func NewProgress() *Progress { return &Progress{started: time.Now()} }
+
+// SetStage names the currently running experiment.
+func (p *Progress) SetStage(name string) {
+	p.mu.Lock()
+	p.stage = name
+	p.mu.Unlock()
+}
+
+// Add grows the expected cell count (called once per batch).
+func (p *Progress) Add(n int) {
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// Cell records one finished cell.
+func (p *Progress) Cell(key string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	line := fmt.Sprintf("ok   %s", key)
+	if err != nil {
+		p.failed++
+		line = fmt.Sprintf("FAIL %s: %v", key, err)
+	}
+	p.recent = append(p.recent, line)
+	if len(p.recent) > progressRecent {
+		p.recent = p.recent[len(p.recent)-progressRecent:]
+	}
+}
+
+// Counts reports (done, failed, total).
+func (p *Progress) Counts() (done, failed, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done, p.failed, p.total
+}
+
+// Text renders the plain-text progress page.
+func (p *Progress) Text() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	elapsed := time.Since(p.started).Round(time.Second)
+	fmt.Fprintf(&b, "bench grid: %d/%d cells done, %d failed, %s elapsed\n",
+		p.done, p.total, p.failed, elapsed)
+	if p.stage != "" {
+		fmt.Fprintf(&b, "running: %s\n", p.stage)
+	}
+	if p.total > 0 {
+		const width = 40
+		filled := p.done * width / p.total
+		fmt.Fprintf(&b, "[%s%s]\n", strings.Repeat("#", filled), strings.Repeat(".", width-filled))
+	}
+	if len(p.recent) > 0 {
+		b.WriteString("recent cells:\n")
+		for _, l := range p.recent {
+			fmt.Fprintf(&b, "  %s\n", l)
+		}
+	}
+	return b.String()
+}

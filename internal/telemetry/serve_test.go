@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestValidateAddr(t *testing.T) {
+	for _, bad := range []string{"", "8080", "localhost", "http://:8080"} {
+		if err := ValidateAddr(bad); err == nil {
+			t.Fatalf("ValidateAddr(%q) accepted", bad)
+		}
+	}
+	for _, good := range []string{":0", ":8080", "127.0.0.1:9999", "localhost:0"} {
+		if err := ValidateAddr(good); err != nil {
+			t.Fatalf("ValidateAddr(%q): %v", good, err)
+		}
+	}
+}
+
+func TestNewServerRejectsBadAddr(t *testing.T) {
+	if _, err := NewServer("not-an-addr"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, err := NewServer(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	s.HandleJSON("/telemetry.json", func() any {
+		return RunSnapshot{Histograms: map[string]HistSummary{"lifetime": {Count: 3}}}
+	})
+	p := NewProgress()
+	p.Add(4)
+	p.SetStage("imbalance")
+	p.Cell("pe=2", nil)
+	p.Cell("pe=4", errors.New("boom"))
+	s.HandleText("/progress", p.Text)
+
+	code, body := get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/telemetry.json") || !strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/telemetry.json")
+	if code != http.StatusOK || !strings.Contains(body, `"lifetime"`) {
+		t.Fatalf("telemetry.json: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK || !strings.Contains(body, "1 failed") || !strings.Contains(body, "FAIL pe=4") {
+		t.Fatalf("progress: %d %q", code, body)
+	}
+	done, failed, total := p.Counts()
+	if done != 2 || failed != 1 || total != 4 {
+		t.Fatalf("counts = %d/%d/%d", done, failed, total)
+	}
+
+	code, _ = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", code)
+	}
+}
+
+func TestPublishVar(t *testing.T) {
+	PublishVar("test-key", func() any { return 7 })
+	PublishVar("test-key", func() any { return 8 }) // re-publish must not panic
+
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"test-key": 8`) {
+		t.Fatalf("/debug/vars: %d %q", code, body)
+	}
+}

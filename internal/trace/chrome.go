@@ -15,8 +15,17 @@ import (
 // a per-PE "C" counter series tracks the number of resident tasks so
 // slot occupancy is visible as a stacked area chart.
 type Chrome struct {
-	mu     sync.Mutex
-	events []Event
+	mu       sync.Mutex
+	events   []Event
+	counters []counterSeries
+}
+
+// counterSeries is one externally supplied counter track (telemetry
+// sampler gauges), rendered under a separate "telemetry" process row.
+type counterSeries struct {
+	name   string
+	cycles []int64
+	vals   []int64
 }
 
 // NewChrome builds an empty collector.
@@ -26,6 +35,24 @@ func NewChrome() *Chrome { return &Chrome{} }
 func (c *Chrome) TaskDone(ev Event) {
 	c.mu.Lock()
 	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// AddCounterSeries folds one sampled gauge into the trace file as a "C"
+// counter track under the "telemetry" process (pid 1), aligned to the
+// task spans' cycle timeline. cycles and vals must be parallel; the
+// shorter length wins.
+func (c *Chrome) AddCounterSeries(name string, cycles, vals []int64) {
+	n := len(cycles)
+	if len(vals) < n {
+		n = len(vals)
+	}
+	c.mu.Lock()
+	c.counters = append(c.counters, counterSeries{
+		name:   name,
+		cycles: append([]int64(nil), cycles[:n]...),
+		vals:   append([]int64(nil), vals[:n]...),
+	})
 	c.mu.Unlock()
 }
 
@@ -104,6 +131,23 @@ func (c *Chrome) WriteTo(w io.Writer) (int64, error) {
 				Name: fmt.Sprintf("PE %d tasks", pe), Ph: "C",
 				Ts: e.t, Pid: 0, Tid: pe,
 				Args: map[string]any{"running": level},
+			})
+		}
+	}
+
+	// Telemetry counter tracks live under their own process row so they
+	// stack separately from the per-PE task threads.
+	if len(c.counters) > 0 {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "telemetry"},
+		})
+	}
+	for _, cs := range c.counters {
+		for i := range cs.cycles {
+			out = append(out, chromeEvent{
+				Name: cs.name, Ph: "C", Ts: cs.cycles[i], Pid: 1,
+				Args: map[string]any{"value": cs.vals[i]},
 			})
 		}
 	}

@@ -102,3 +102,58 @@ func TestChromeTraceSchema(t *testing.T) {
 		t.Fatal("no occupancy counter samples")
 	}
 }
+
+// TestChromeCounterTracks folds telemetry sampler series into the trace
+// and checks they come out as "C" events under the telemetry process
+// (pid 1), aligned to the task spans' cycle timeline.
+func TestChromeCounterTracks(t *testing.T) {
+	chrome := trace.NewChrome()
+	chrome.TaskDone(trace.Event{PE: 0, Start: 0, Done: 100})
+	chrome.AddCounterSeries("dram/queue", []int64{10, 20, 30}, []int64{1, 4, 2})
+	// Mismatched lengths truncate to the shorter side.
+	chrome.AddCounterSeries("noc/inflight", []int64{10, 20, 30}, []int64{7})
+
+	var buf bytes.Buffer
+	if _, err := chrome.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var dram, noc int
+	procNamed := false
+	for _, ev := range file.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name" && ev.Pid == 1:
+			procNamed = true
+		case ev.Ph == "C" && ev.Name == "dram/queue":
+			if ev.Pid != 1 {
+				t.Fatalf("counter track on pid %d, want 1: %+v", ev.Pid, ev)
+			}
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter sample without value arg: %+v", ev)
+			}
+			dram++
+		case ev.Ph == "C" && ev.Name == "noc/inflight":
+			noc++
+		}
+	}
+	if !procNamed {
+		t.Fatal("telemetry process not named")
+	}
+	if dram != 3 {
+		t.Fatalf("dram/queue samples = %d, want 3", dram)
+	}
+	if noc != 1 {
+		t.Fatalf("noc/inflight samples = %d, want 1 (truncated to shorter side)", noc)
+	}
+}

@@ -31,8 +31,11 @@ func (tl *Timeline) TaskDone(ev Event) {
 func (tl *Timeline) Render(cols int) string {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
-	if len(tl.events) == 0 || cols < 1 {
+	if len(tl.events) == 0 {
 		return "(no trace events)\n"
+	}
+	if cols < 1 {
+		cols = 1 // a too-narrow terminal still gets one bucket per PE
 	}
 	var end int64
 	pes := map[int]bool{}

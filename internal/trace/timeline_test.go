@@ -39,6 +39,45 @@ func TestTimelineEmpty(t *testing.T) {
 	}
 }
 
+// TestTimelineEdgeCases drives Render through degenerate inputs that
+// must neither panic nor divide by zero: zero-cycle runs (every event
+// instantaneous at t=0), a single task, and column counts smaller than
+// the label gutter.
+func TestTimelineEdgeCases(t *testing.T) {
+	zero := trace.NewTimeline()
+	zero.TaskDone(trace.Event{PE: 0, Start: 0, Done: 0})
+	zero.TaskDone(trace.Event{PE: 1, Start: 0, Done: 0})
+	out := zero.Render(20)
+	if !strings.Contains(out, "pe0") || !strings.Contains(out, "pe1") {
+		t.Fatalf("zero-cycle render missing rows:\n%s", out)
+	}
+
+	single := trace.NewTimeline()
+	single.TaskDone(trace.Event{PE: 3, Start: 7, Done: 8})
+	out = single.Render(5)
+	if !strings.Contains(out, "pe3") || !strings.ContainsAny(out, ".:#") {
+		t.Fatalf("single-task render:\n%s", out)
+	}
+
+	// cols below 1 clamps to one bucket per PE instead of bailing out.
+	for _, cols := range []int{0, -3} {
+		out = single.Render(cols)
+		if strings.Contains(out, "no trace") {
+			t.Fatalf("Render(%d) dropped real events: %q", cols, out)
+		}
+		if !strings.Contains(out, "pe3") {
+			t.Fatalf("Render(%d) missing row:\n%s", cols, out)
+		}
+	}
+
+	// A task far wider than one bucket must saturate, not overflow.
+	wide := trace.NewTimeline()
+	wide.TaskDone(trace.Event{PE: 0, Start: 0, Done: 1 << 20})
+	if out := wide.Render(1); !strings.ContainsAny(out, ":#") {
+		t.Fatalf("wide task not saturated:\n%s", out)
+	}
+}
+
 func TestTimelineFromSimulation(t *testing.T) {
 	g := gen.RMAT(128, 700, 0.6, 0.15, 0.15, 2)
 	s, _ := pattern.Build(pattern.Triangle())

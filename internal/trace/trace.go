@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"shogun/internal/telemetry"
 )
 
 // Event describes one completed task.
@@ -72,60 +74,37 @@ func (j *JSONL) Err() error {
 	return j.err
 }
 
-// Summary aggregates latency statistics per depth.
+// Summary aggregates latency statistics per depth. Each depth feeds a
+// log-bucketed telemetry histogram, so percentiles cover EVERY
+// observation (the former stride-decimation sampler kept an evenly
+// spaced subset) at a fixed memory bound per depth, and the per-depth
+// digests merge bit-identically across shards.
 type Summary struct {
 	mu     sync.Mutex
-	depths map[int]*depthStats
+	depths map[int]*telemetry.Histogram
 }
-
-// depthStats downsamples latencies by stride decimation: keep every
-// stride-th observation; when the buffer fills, drop every other kept
-// sample and double the stride. The kept samples are always evenly
-// spaced over the WHOLE stream (a first-N reservoir would represent only
-// the warm-up and bias P50/P99 toward early, typically shorter tasks),
-// and the process is deterministic — same stream, same samples.
-type depthStats struct {
-	count    int64
-	totalLat int64
-	samples  []int64
-	stride   int64
-	skip     int64 // observations to drop before the next kept one
-}
-
-const sampleCap = 1 << 14
 
 // NewSummary builds an empty aggregator.
-func NewSummary() *Summary { return &Summary{depths: map[int]*depthStats{}} }
+func NewSummary() *Summary { return &Summary{depths: map[int]*telemetry.Histogram{}} }
 
 // TaskDone implements Tracer.
 func (s *Summary) TaskDone(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	d := s.depths[ev.Depth]
-	if d == nil {
-		d = &depthStats{stride: 1}
-		s.depths[ev.Depth] = d
+	h := s.depths[ev.Depth]
+	if h == nil {
+		h = telemetry.NewHistogram()
+		s.depths[ev.Depth] = h
 	}
-	lat := ev.Done - ev.Start
-	d.count++
-	d.totalLat += lat
-	if d.skip > 0 {
-		d.skip--
-		return
-	}
-	d.samples = append(d.samples, lat)
-	d.skip = d.stride - 1
-	if len(d.samples) == sampleCap {
-		// Compact: keep even positions so the survivors sit on a
-		// uniform 2×stride grid. The pending skip already points at the
-		// next even multiple of the old stride (sampleCap is even), so
-		// the next kept sample lands on the new grid too.
-		for i := 0; i < sampleCap/2; i++ {
-			d.samples[i] = d.samples[2*i]
-		}
-		d.samples = d.samples[:sampleCap/2]
-		d.stride *= 2
-	}
+	h.Observe(ev.Done - ev.Start)
+}
+
+// Histogram exposes one depth's latency digest (nil if the depth never
+// completed a task).
+func (s *Summary) Histogram(depth int) *telemetry.Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depths[depth]
 }
 
 // DepthReport is one row of a Summary.
@@ -142,18 +121,14 @@ func (s *Summary) Report() []DepthReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []DepthReport
-	for depth, d := range s.depths {
-		r := DepthReport{Depth: depth, Tasks: d.count}
-		if d.count > 0 {
-			r.AvgLat = float64(d.totalLat) / float64(d.count)
-		}
-		if len(d.samples) > 0 {
-			sorted := append([]int64(nil), d.samples...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-			r.P50 = sorted[len(sorted)/2]
-			r.P99 = sorted[len(sorted)*99/100]
-		}
-		out = append(out, r)
+	for depth, h := range s.depths {
+		out = append(out, DepthReport{
+			Depth:  depth,
+			Tasks:  h.Count(),
+			AvgLat: h.Avg(),
+			P50:    h.Quantile(0.5),
+			P99:    h.Quantile(0.99),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Depth < out[j].Depth })
 	return out
@@ -176,4 +151,19 @@ func (m Multi) TaskDone(ev Event) {
 	for _, t := range m {
 		t.TaskDone(ev)
 	}
+}
+
+// Err aggregates child errors: it returns the first non-nil error among
+// children exposing an Err() method (JSONL, nested Multi, ...), so a
+// failing sink behind a fan-out surfaces instead of silently truncating
+// its stream.
+func (m Multi) Err() error {
+	for _, t := range m {
+		if c, ok := t.(interface{ Err() error }); ok {
+			if err := c.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -138,12 +138,12 @@ func TestJSONLWriteError(t *testing.T) {
 	}
 }
 
-// TestSummaryStrideSampling feeds a latency stream whose distribution
-// shifts after the old reservoir's 16k-sample capacity: short warm-up
-// tasks first, then 3× as many long tasks. A first-N reservoir reports
-// the warm-up percentile (P50 = 1); stride decimation samples the whole
-// stream, so both P50 and P99 must land in the dominant late phase.
-func TestSummaryStrideSampling(t *testing.T) {
+// TestSummaryWholeStreamPercentiles feeds a latency stream whose
+// distribution shifts after 16k observations: short warm-up tasks first,
+// then 3× as many long tasks. A first-N reservoir would report the
+// warm-up percentile (P50 = 1); the log-bucketed histogram covers the
+// whole stream, so both P50 and P99 must land in the dominant late phase.
+func TestSummaryWholeStreamPercentiles(t *testing.T) {
 	s := trace.NewSummary()
 	emit := func(n int, lat int64) {
 		for i := 0; i < n; i++ {
@@ -169,8 +169,8 @@ func TestSummaryStrideSampling(t *testing.T) {
 	}
 
 	// A uniform ramp must report percentiles near their exact values
-	// even far past the buffer capacity (sampling stays uniform over
-	// the whole stream after repeated compactions).
+	// even for very long streams (the histogram's relative error is
+	// bounded by its sub-bucket width, ~3%).
 	s2 := trace.NewSummary()
 	const n = 200_000
 	for i := 0; i < n; i++ {
@@ -182,5 +182,89 @@ func TestSummaryStrideSampling(t *testing.T) {
 	}
 	if tol := int64(n / 50); r2.P99 < n*99/100-tol {
 		t.Fatalf("P99 = %d, want ≈ %d", r2.P99, n*99/100)
+	}
+}
+
+// TestSummaryGoldenReport pins Report() and String() output for a fixed
+// small-latency stream: the histogram's singleton buckets (< 32) make
+// percentiles exact, so the rows must match the historical sorted-slice
+// convention value for value.
+func TestSummaryGoldenReport(t *testing.T) {
+	s := trace.NewSummary()
+	// Depth 0: latencies 1..10; depth 1: twenty 4s and one 30.
+	for i := int64(1); i <= 10; i++ {
+		s.TaskDone(trace.Event{Depth: 0, Start: 100, Done: 100 + i})
+	}
+	for i := 0; i < 20; i++ {
+		s.TaskDone(trace.Event{Depth: 1, Start: 0, Done: 4})
+	}
+	s.TaskDone(trace.Event{Depth: 1, Start: 0, Done: 30})
+
+	want := []trace.DepthReport{
+		// sorted[len/2] and sorted[len*99/100] of each stream.
+		{Depth: 0, Tasks: 10, AvgLat: 5.5, P50: 6, P99: 10},
+		{Depth: 1, Tasks: 21, AvgLat: (20*4.0 + 30) / 21, P50: 4, P99: 30},
+	}
+	got := s.Report()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	const golden = "depth         tasks    avg-lat      p50      p99\n" +
+		"0                10        5.5        6       10\n" +
+		"1                21        5.2        4       30\n"
+	if s.String() != golden {
+		t.Fatalf("String() drifted:\n got:\n%s want:\n%s", s.String(), golden)
+	}
+
+	if h := s.Histogram(0); h == nil || h.Count() != 10 {
+		t.Fatalf("depth-0 histogram missing or wrong: %v", h)
+	}
+	if s.Histogram(9) != nil {
+		t.Fatal("absent depth should have nil histogram")
+	}
+}
+
+// errTracer is a failing sink with a sticky error, used behind Multi.
+type errTracer struct{ err error }
+
+func (e *errTracer) TaskDone(trace.Event) {}
+func (e *errTracer) Err() error           { return e.err }
+
+// TestMultiErr asserts a failing writer behind a Multi fan-out surfaces
+// through Multi.Err instead of being silently dropped.
+func TestMultiErr(t *testing.T) {
+	w := &failAfter{remaining: 1}
+	j := trace.NewJSONL(w)
+	summary := trace.NewSummary()
+	m := trace.Multi{summary, j}
+
+	m.TaskDone(trace.Event{PE: 0, Start: 0, Done: 5})
+	if err := m.Err(); err != nil {
+		t.Fatalf("unexpected error before failure: %v", err)
+	}
+	m.TaskDone(trace.Event{PE: 1, Start: 5, Done: 9})
+	if err := m.Err(); err == nil {
+		t.Fatal("Multi.Err dropped the child's write error")
+	} else if !errors.Is(err, errWriterFull{}) {
+		t.Fatalf("Multi.Err = %v, want the child's disk-full error", err)
+	}
+
+	// Both sinks still saw both events (fan-out is unaffected).
+	if got := summary.Report()[0].Tasks; got != 2 {
+		t.Fatalf("summary saw %d events, want 2", got)
+	}
+
+	// Ordering: the first erroring child wins, and nested Multis are
+	// traversed.
+	inner := trace.Multi{&errTracer{err: errWriterFull{}}}
+	outer := trace.Multi{trace.NewSummary(), inner, &errTracer{err: errors.New("later")}}
+	if err := outer.Err(); !errors.Is(err, errWriterFull{}) {
+		t.Fatalf("nested Multi error = %v, want first child's", err)
 	}
 }
