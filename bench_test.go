@@ -18,6 +18,7 @@ func quickOpts() bench.Options { return bench.Options{Quick: true} }
 
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	e, err := bench.Lookup(id)
 	if err != nil {
 		b.Fatal(err)

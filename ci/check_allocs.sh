@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Allocation ceiling: BenchmarkSimulate allocs/op must stay at or below
+# the ceiling in ci/allocs_ceiling.txt. The calendar-queue/pooled-event
+# engine brought the run from ~253k allocs/op to ~2.4k (BENCH_0006.json);
+# this guard catches any change that quietly reintroduces per-event or
+# per-task allocation. Tighten the ceiling when the number drops (never
+# raise it for convenience — a real regression should be fixed, not
+# accommodated).
+#
+# Usage: ci/check_allocs.sh
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+ceiling=$(tr -d '[:space:]' < "$root/ci/allocs_ceiling.txt")
+
+out=$(cd "$root" && go test ./internal/accel/ -run '^$' \
+    -bench 'BenchmarkSimulate$' -benchmem -benchtime 3x)
+echo "$out"
+
+allocs=$(echo "$out" | awk '/^BenchmarkSimulate/ { for (i=1;i<NF;i++) if ($(i+1)=="allocs/op") print $i }')
+if [ -z "$allocs" ]; then
+    echo "FAIL: could not parse allocs/op from benchmark output" >&2
+    exit 1
+fi
+echo "BenchmarkSimulate: ${allocs} allocs/op (ceiling: ${ceiling})"
+if [ "$allocs" -gt "$ceiling" ]; then
+    echo "FAIL: allocs/op ${allocs} exceeds the committed ceiling ${ceiling}" >&2
+    exit 1
+fi

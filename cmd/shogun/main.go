@@ -51,6 +51,7 @@ func main() {
 		chromeT  = flag.String("trace-out", "", "write Chrome trace JSON (load in chrome://tracing or Perfetto)")
 		metricsF = flag.Bool("metrics", false, "print the hardware-counter report and verify conservation invariants")
 		verbose  = flag.Bool("v", false, "print extended statistics")
+		queue    = flag.String("queue", "", "event queue discipline: calendar (default) | heap (debug/differential fallback)")
 		deadline = flag.Int64("deadline", 0, "abort after this many simulated cycles (0 = none)")
 		maxEv    = flag.Int64("maxevents", 0, "abort after this many simulation events (0 = none)")
 		maxWall  = flag.Duration("maxwall", 0, "abort after this much wall-clock time (0 = none)")
@@ -64,7 +65,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	tf := telemetryFlags{sampleEvery: *sampleEv, timeseriesOut: *tsOut, httpAddr: *httpAddr}
-	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall, tf); err != nil {
+	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *queue, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall, tf); err != nil {
 		fmt.Fprintln(os.Stderr, "shogun:", err)
 		var inv *sim.InvariantError
 		var dead *sim.DeadlockError
@@ -103,7 +104,7 @@ func (tf telemetryFlags) validate() error {
 	return nil
 }
 
-func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration, tf telemetryFlags) error {
+func run(ctx context.Context, dataset, graphArg, patName, scheme, queue string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration, tf telemetryFlags) error {
 	if err := tf.validate(); err != nil {
 		return err
 	}
@@ -155,6 +156,12 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme string, pes, wi
 	}
 	cfg.EnableSplitting = split
 	cfg.EnableMerging = merge
+	if queue != "" {
+		if _, err := sim.ParseQueueKind(queue); err != nil {
+			return err
+		}
+		cfg.EventQueue = queue
+	}
 	if deadline > 0 {
 		cfg.Deadline = sim.Time(deadline)
 	}

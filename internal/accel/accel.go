@@ -97,6 +97,12 @@ type Config struct {
 	// SampleCap bounds retained sampler epochs (0 = telemetry default);
 	// on overflow the ring decimates 2× and the epoch spacing doubles.
 	SampleCap int
+	// EventQueue selects the engine's event-queue discipline: "calendar"
+	// (default), "heap" (the binary-heap fallback), or "" for the build
+	// default (overridable via SHOGUN_EVENT_QUEUE). Both disciplines
+	// produce bit-identical simulations; the knob exists for differential
+	// testing and as an escape hatch.
+	EventQueue string
 }
 
 // DefaultConfig mirrors Table 3 for the given scheme.
@@ -151,6 +157,36 @@ type Accelerator struct {
 	Merges sim.Counter
 }
 
+// Actor ops for the accelerator's event callbacks (see sim.Engine.Post):
+// the system scheduler's periodic loops — balance, merge, sampler — and
+// split deliveries schedule without per-event closure allocation.
+const (
+	opBalanceCheck = iota
+	opArmBalanceIfNeeded
+	opMergeCheck
+	opSamplerTick
+	opDeliverSplit
+)
+
+// Act dispatches the accelerator's event callbacks (sim.Actor). Split
+// deliveries carry their *splitMsg; the periodic ticks carry nil.
+func (a *Accelerator) Act(op int, arg any) {
+	switch op {
+	case opBalanceCheck:
+		a.balanceCheck()
+	case opArmBalanceIfNeeded:
+		a.armBalanceIfNeeded()
+	case opMergeCheck:
+		a.mergeCheck()
+	case opSamplerTick:
+		a.samplerTick()
+	case opDeliverSplit:
+		a.deliverSplit(arg.(*splitMsg))
+	default:
+		panic("accel: unknown actor op")
+	}
+}
+
 // New builds an accelerator for graph g and schedule s.
 func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) {
 	if cfg.NumPEs < 1 {
@@ -167,9 +203,13 @@ func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) 
 		// matching a banked-L2 crossbar that scales with the PE array.
 		cfg.NoC.Links = 2 * cfg.NumPEs
 	}
+	qkind, err := sim.ParseQueueKind(cfg.EventQueue)
+	if err != nil {
+		return nil, fmt.Errorf("accel: %w", err)
+	}
 	a := &Accelerator{
 		cfg:  cfg,
-		eng:  sim.NewEngine(),
+		eng:  sim.NewEngineQueue(qkind),
 		w:    task.NewWorkload(g, s),
 		dram: mem.NewDRAM(cfg.DRAM),
 		noc:  mem.NewNoC(cfg.NoC),

@@ -29,7 +29,7 @@ func (a *Accelerator) armBalance() {
 		return
 	}
 	a.balanceArmed = true
-	a.eng.After(1, a.balanceCheck)
+	a.eng.PostAfter(1, a, opBalanceCheck, nil)
 }
 
 // balanceCheck implements Fig. 8: detect imbalance (idle PEs while others
@@ -49,7 +49,7 @@ func (a *Accelerator) balanceCheck() {
 	if len(idle) == 0 || len(busy) == 0 {
 		if len(busy) > 0 {
 			// All busy: re-check later in case the tail imbalances.
-			a.eng.After(a.cfg.BalancePeriod, func() { a.armBalanceIfNeeded() })
+			a.eng.PostAfter(a.cfg.BalancePeriod, a, opArmBalanceIfNeeded, nil)
 		}
 		return
 	}
@@ -86,7 +86,7 @@ func (a *Accelerator) balanceCheck() {
 	}
 	// Imbalance may remain (prediction uncertainty): schedule another
 	// round (§4.1's multi-round solution).
-	a.eng.After(a.cfg.BalancePeriod, a.armBalanceIfNeeded)
+	a.eng.PostAfter(a.cfg.BalancePeriod, a, opArmBalanceIfNeeded, nil)
 }
 
 func (a *Accelerator) armBalanceIfNeeded() {
@@ -100,6 +100,21 @@ func (a *Accelerator) armBalanceIfNeeded() {
 	if anyBusy {
 		a.armBalance()
 	}
+}
+
+// splitMsg is one in-flight §4.1 split transfer: the root+range payload
+// travelling from victim to helper, carried as the delivery event's
+// argument (and re-carried across adoption retries). Splits are rare —
+// a handful per run — so the message itself may allocate; the candidate
+// snapshot it carries must anyway.
+type splitMsg struct {
+	helper     *pe.PE
+	htree      *core.Tree
+	rootVertex graph.VertexID
+	cand       []graph.VertexID
+	spawnLimit int
+	lo, hi     int
+	slot       int
 }
 
 // transferSplit models the three partition-message types of §4.1 — the
@@ -141,9 +156,10 @@ func (a *Accelerator) transferSplit(victim *pe.PE, helpers []*pe.PE, root *task.
 		a.noc.Transfer(now, 0)
 		arrive := a.noc.Transfer(now, lines)
 		a.splitPending[h.ID] = true
-		helper := h
-		s, e := start, end
-		a.eng.At(arrive, func() { a.deliverSplit(helper, htree, rootVertex, cand, spawnLimit, s, e, slot) })
+		a.eng.Post(arrive, a, opDeliverSplit, &splitMsg{
+			helper: h, htree: htree, rootVertex: rootVertex, cand: cand,
+			spawnLimit: spawnLimit, lo: start, hi: end, slot: slot,
+		})
 	}
 	_ = victim // the victim's root range already shrank via CarveSplit
 }
@@ -151,20 +167,18 @@ func (a *Accelerator) transferSplit(victim *pe.PE, helpers []*pe.PE, root *task.
 // deliverSplit installs a split subtree on the helper, retrying if the
 // helper's depth-0 capacity is momentarily occupied — the carved range
 // must never be dropped.
-func (a *Accelerator) deliverSplit(helper *pe.PE, htree *core.Tree, rootVertex graph.VertexID, cand []graph.VertexID, spawnLimit, s, e, slot int) {
+func (a *Accelerator) deliverSplit(m *splitMsg) {
 	now := a.eng.Now()
-	if htree.AdoptSplit(rootVertex, cand, spawnLimit, s, e, slot) {
+	if m.htree.AdoptSplit(m.rootVertex, m.cand, m.spawnLimit, m.lo, m.hi, m.slot) {
 		// Install the transferred set into the helper's L1 (the one-time
 		// PE-to-PE copy the paper argues for over proxy access).
-		mem.AccessRange(helper.L1, now, a.w.Map.SetAddr(slot), int64(len(cand))*4, true)
-		a.splitPending[helper.ID] = false
+		mem.AccessRange(m.helper.L1, now, a.w.Map.SetAddr(m.slot), int64(len(m.cand))*4, true)
+		a.splitPending[m.helper.ID] = false
 		a.Splits.Inc(1)
-		helper.Kick()
+		m.helper.Kick()
 		return
 	}
-	a.eng.After(a.cfg.BalancePeriod, func() {
-		a.deliverSplit(helper, htree, rootVertex, cand, spawnLimit, s, e, slot)
-	})
+	a.eng.PostAfter(a.cfg.BalancePeriod, a, opDeliverSplit, m)
 }
 
 // ForceSplit carves one task-tree split regardless of the imbalance
@@ -216,8 +230,10 @@ func (a *Accelerator) ForceSplit() bool {
 			a.noc.Transfer(now, 0)
 			arrive := a.noc.Transfer(now, lines)
 			a.splitPending[h.ID] = true
-			helper := h
-			a.eng.At(arrive, func() { a.deliverSplit(helper, htree, rootVertex, cand, spawnLimit, lo, hi, slot) })
+			a.eng.Post(arrive, a, opDeliverSplit, &splitMsg{
+				helper: h, htree: htree, rootVertex: rootVertex, cand: cand,
+				spawnLimit: spawnLimit, lo: lo, hi: hi, slot: slot,
+			})
 			return true
 		}
 	}
@@ -230,7 +246,7 @@ func (a *Accelerator) armMerge() {
 		return
 	}
 	a.mergeArmed = true
-	a.eng.After(a.cfg.MergePeriod, a.mergeCheck)
+	a.eng.PostAfter(a.cfg.MergePeriod, a, opMergeCheck, nil)
 }
 
 // mergeCheck evaluates, per PE, the three §4.2 conditions: (1) FU
@@ -264,6 +280,6 @@ func (a *Accelerator) mergeCheck() {
 	}
 	if anyBusy {
 		a.mergeArmed = true
-		a.eng.After(a.cfg.MergePeriod, a.mergeCheck)
+		a.eng.PostAfter(a.cfg.MergePeriod, a, opMergeCheck, nil)
 	}
 }

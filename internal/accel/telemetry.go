@@ -130,7 +130,7 @@ func (a *Accelerator) armSampler() {
 		return
 	}
 	a.samplerArmed = true
-	a.eng.After(sim.Time(a.tel.Sampler.Interval()), a.samplerTick)
+	a.eng.PostAfter(sim.Time(a.tel.Sampler.Interval()), a, opSamplerTick, nil)
 }
 
 func (a *Accelerator) samplerTick() {

@@ -132,6 +132,12 @@ type Tree struct {
 	trees   map[int]*treeState
 	treeSeq int
 
+	// Recycled bunch and tree-state records: the tree turns over one
+	// bunch per parent and one state per root, so reuse keeps the
+	// steady-state policy allocation-free.
+	bunchFree []*bunch
+	stateFree []*treeState
+
 	// deferred spawn-unit work to charge on the next completion (bunch
 	// became available asynchronously).
 	deferredSpawn  int
@@ -198,6 +204,37 @@ func (t *Tree) entriesPerBunch(depth int) int {
 	return t.cfg.EntriesPerBunch
 }
 
+// allocBunch reuses a recycled bunch when one is free.
+func (t *Tree) allocBunch(depth int, parent *task.Node, treeID int) *bunch {
+	if k := len(t.bunchFree); k > 0 {
+		b := t.bunchFree[k-1]
+		t.bunchFree = t.bunchFree[:k-1]
+		b.depth, b.parent, b.treeID = depth, parent, treeID
+		b.entries = b.entries[:0]
+		b.used = 0
+		return b
+	}
+	return &bunch{depth: depth, parent: parent, treeID: treeID,
+		entries: make([]entry, 0, t.entriesPerBunch(depth))}
+}
+
+// freeBunch parks a bunch removed from its depth list for reuse.
+func (t *Tree) freeBunch(b *bunch) {
+	b.parent = nil
+	t.bunchFree = append(t.bunchFree, b)
+}
+
+// allocState reuses a recycled treeState when one is free.
+func (t *Tree) allocState(id int, root graph.VertexID) *treeState {
+	if k := len(t.stateFree); k > 0 {
+		ts := t.stateFree[k-1]
+		t.stateFree = t.stateFree[:k-1]
+		*ts = treeState{id: id, root: root}
+		return ts
+	}
+	return &treeState{id: id, root: root}
+}
+
 // activeTrees counts non-finished merged trees.
 func (t *Tree) activeTrees() int { return len(t.trees) }
 
@@ -228,10 +265,10 @@ func (t *Tree) feedRoot() bool {
 		t.MergeFeeds.Inc(1)
 	}
 	t.treeSeq++
-	ts := &treeState{id: t.treeSeq, root: v}
+	ts := t.allocState(t.treeSeq, v)
 	t.trees[ts.id] = ts
 	root := t.w.NewNode(0, v, nil, ts.id)
-	b := &bunch{depth: 0, parent: nil, entries: make([]entry, 0, 1), treeID: ts.id}
+	b := t.allocBunch(0, nil, ts.id)
 	b.entries = append(b.entries, entry{state: Ready, node: root})
 	b.used = 1
 	ts.liveWork++
@@ -248,7 +285,7 @@ func (t *Tree) AdoptSplit(root graph.VertexID, cand []graph.VertexID, spawnLimit
 		return false
 	}
 	t.treeSeq++
-	ts := &treeState{id: t.treeSeq, root: root}
+	ts := t.allocState(t.treeSeq, root)
 	t.trees[ts.id] = ts
 	n := t.w.NewNode(0, root, nil, ts.id)
 	n.Executed = true
@@ -257,7 +294,7 @@ func (t *Tree) AdoptSplit(root graph.VertexID, cand []graph.VertexID, spawnLimit
 	n.NextCand = lo
 	n.SplitLo, n.SplitHi = lo, hi
 	n.Slot = slot
-	b := &bunch{depth: 0, parent: nil, entries: make([]entry, 0, 1), treeID: ts.id}
+	b := t.allocBunch(0, nil, ts.id)
 	// The adopted root has already executed remotely: it enters Resting
 	// and immediately wants to spawn.
 	b.entries = append(b.entries, entry{state: Resting, node: n})
@@ -420,8 +457,7 @@ func (t *Tree) spawnBunch(n *task.Node, res *pe.SpawnResult) bool {
 	if len(t.bunches[d]) >= t.bunchCap(d) {
 		return false
 	}
-	nb := &bunch{depth: d, parent: n, treeID: n.TreeID,
-		entries: make([]entry, 0, t.entriesPerBunch(d))}
+	nb := t.allocBunch(d, n, n.TreeID)
 	for len(nb.entries) < t.entriesPerBunch(d) {
 		v, pruned, ok := t.w.NextChild(n)
 		res.Pruned += pruned
@@ -500,10 +536,14 @@ func (t *Tree) retireEntry(b *bunch, n *task.Node, res *pe.SpawnResult) {
 // finishTree drops a finished tree's bookkeeping, recycles its depth-0
 // bunch and wakes a quiesced partner (§4.2 recovery).
 func (t *Tree) finishTree(treeID int) {
+	if ts := t.trees[treeID]; ts != nil {
+		t.stateFree = append(t.stateFree, ts)
+	}
 	delete(t.trees, treeID)
 	for i, b := range t.bunches[0] {
 		if b.treeID == treeID && b.used == 0 {
 			t.bunches[0] = append(t.bunches[0][:i], t.bunches[0][i+1:]...)
+			t.freeBunch(b)
 			break
 		}
 	}
@@ -533,10 +573,12 @@ func (t *Tree) recycleBunch(b *bunch) {
 	if t.lastBunch == b {
 		t.lastBunch = nil
 	}
+	depth := b.depth
+	t.freeBunch(b) // b may be reused by the spawn below; use depth from here
 	// Serve one pending spawner at this depth.
-	if q := t.pendingSpawn[b.depth]; len(q) > 0 {
+	if q := t.pendingSpawn[depth]; len(q) > 0 {
 		parent := q[0]
-		t.pendingSpawn[b.depth] = q[1:]
+		t.pendingSpawn[depth] = q[1:]
 		var res pe.SpawnResult
 		if t.spawnBunch(parent, &res) {
 			// Charge the spawn-unit work to the next completion.

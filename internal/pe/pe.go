@@ -131,6 +131,33 @@ type MonitorSample struct {
 	IUUtil    float64
 }
 
+// Actor ops for the PE's event callbacks (see sim.Engine.Post): the PE
+// is a sim.Actor so its pipeline stages schedule without per-event
+// closure allocation. Stage events carry their *inflight record as arg.
+const (
+	peOpKick = iota
+	peOpDispatch
+	peOpFinish
+	peOpRelease
+	peOpMonitor
+)
+
+// inflight is the per-task pipeline record threaded through
+// execute → dispatch → finish → release as the event argument. Records
+// are free-listed on the PE, so a steady-state run allocates none; the
+// embedded reads array backs the task profile's Reads list (a fetch plan
+// wider than the array falls back to an append allocation, which no
+// shipped schedule triggers).
+type inflight struct {
+	next       *inflight
+	n          *task.Node
+	prof       task.Profile
+	spmNeed    int
+	slotStart  sim.Time
+	stageStart sim.Time
+	reads      [4]task.Read
+}
+
 // PE is one processing element.
 type PE struct {
 	ID  int
@@ -148,6 +175,7 @@ type PE struct {
 
 	policy Policy
 	w      *task.Workload
+	flFree *inflight // inflight-record free list
 
 	kickPending  bool
 	conservative bool
@@ -268,13 +296,49 @@ func (p *PE) SetPerturb(pr sim.Perturber) {
 	p.IUPool.SetPerturb(pr)
 }
 
+// Act dispatches the PE's event callbacks (sim.Actor). Stage ops carry
+// the task's *inflight record; kick and monitor ops carry nil.
+func (p *PE) Act(op int, arg any) {
+	switch op {
+	case peOpKick:
+		p.trySchedule()
+	case peOpDispatch:
+		p.stageDispatch(arg.(*inflight))
+	case peOpFinish:
+		p.finish(arg.(*inflight))
+	case peOpRelease:
+		p.release(arg.(*inflight))
+	case peOpMonitor:
+		p.monitorTick()
+	default:
+		panic("pe: unknown actor op")
+	}
+}
+
+func (p *PE) allocInflight() *inflight {
+	fl := p.flFree
+	if fl != nil {
+		p.flFree = fl.next
+		fl.next = nil
+		return fl
+	}
+	return &inflight{}
+}
+
+func (p *PE) recycleInflight(fl *inflight) {
+	fl.n = nil
+	fl.prof = task.Profile{}
+	fl.next = p.flFree
+	p.flFree = fl
+}
+
 // Kick schedules a scheduling attempt. Safe to call repeatedly.
 func (p *PE) Kick() {
 	if p.kickPending {
 		return
 	}
 	p.kickPending = true
-	p.Eng.After(0, p.trySchedule)
+	p.Eng.PostAfter(0, p, peOpKick, nil)
 }
 
 func (p *PE) trySchedule() {
@@ -323,45 +387,45 @@ func (p *PE) HasWork() bool { return p.policy.Pending() }
 // busy-until pools and a completion event.
 func (p *PE) execute(n *task.Node, slot int) {
 	now := p.Eng.Now()
-	slotStart := now
-	prof := p.w.Execute(n, slot)
+	fl := p.allocInflight()
+	fl.n = n
+	fl.slotStart = now
+	fl.prof = p.w.ExecuteReuse(n, slot, fl.reads[:0])
 	p.TasksExecuted.Inc(1)
-	p.IntermediateIn += int64(prof.IntermediateLines)
+	p.IntermediateIn += int64(fl.prof.IntermediateLines)
 
 	// Decode.
 	tDec := p.decodeU.Acquire(now, 1) + p.Cfg.DecodeLat
 	p.PhaseDecode.Add(tDec - now)
 
-	_ = slotStart
 	// Dispatch: allocate SPM lines for inputs + output, possibly
 	// waiting. Large sets do not reserve their whole footprint: the
 	// pipeline streams them through the SPM in multiple rounds (§3.1,
 	// following FINGERS), so a task's reservation is capped at its
 	// slot's streaming window and SPM pressure never serializes the PE
 	// below its execution width.
-	spmNeed := prof.InputLines + prof.OutputLines
+	spmNeed := fl.prof.InputLines + fl.prof.OutputLines
 	if window := p.Cfg.SPMLines / p.Cfg.Width; spmNeed > window {
 		spmNeed = window
 	}
-	p.Eng.At(tDec, func() {
-		p.stageDispatch(n, prof, spmNeed, slotStart, tDec)
-	})
+	fl.spmNeed = spmNeed
+	fl.stageStart = tDec
+	p.Eng.Post(tDec, p, peOpDispatch, fl)
 }
 
-// stageDispatch runs the dispatch stage. stageStart is the decode-stage
-// completion time: SPM-wait retries re-enter here at later times, and
-// the SPM phase must be charged from the original stage entry so the
-// phase accumulators stay an exact partition of slot residency.
-func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotStart, stageStart sim.Time) {
+// stageDispatch runs the dispatch stage. fl.stageStart is the
+// decode-stage completion time: SPM-wait retries re-enter here at later
+// times, and the SPM phase must be charged from the original stage entry
+// so the phase accumulators stay an exact partition of slot residency.
+func (p *PE) stageDispatch(fl *inflight) {
 	now := p.Eng.Now()
-	if spmNeed > 0 && !p.SPM.AcquireOrWait(now, spmNeed, func() {
-		p.stageDispatch(n, prof, spmNeed, slotStart, stageStart)
-	}) {
+	if fl.spmNeed > 0 && !p.SPM.AcquireOrWaitActor(now, fl.spmNeed, p, peOpDispatch, fl) {
 		return // re-entered when SPM frees
 	}
+	prof := &fl.prof
 	tDisp := p.dispatchU.Acquire(now, 1) + p.Cfg.DispatchLat
-	p.PhaseSPM.Add(tDisp - stageStart)
-	p.QueueWaitHist.Observe(int64(tDisp - stageStart))
+	p.PhaseSPM.Add(tDisp - fl.stageStart)
+	p.QueueWaitHist.Observe(int64(tDisp - fl.stageStart))
 
 	// Fetch inputs in parallel: CSR reads bypass L1 (L2 path),
 	// intermediate reads go through L1.
@@ -389,28 +453,19 @@ func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotSta
 	p.issueU.Acquire(dataReady, 1)
 	tIssue := dataReady + p.Cfg.IssueLat
 
-	// Compute: dividers segment the inputs, IUs process segment pairs.
+	// Compute: dividers segment the inputs (one slot per input line),
+	// IUs process the segment pairs (one slot each). Both banks are
+	// reserved as a batch at a common issue time — exactly equivalent
+	// to per-item greedy acquisition, without the per-item heap walk.
 	tComp := tIssue
 	if prof.SegPairs > 0 {
-		lines := prof.InputLines
-		divDone := tIssue
-		for i := 0; i < lines; i++ {
-			d := p.DivPool.Acquire(tIssue, p.Cfg.DividerCyclesPerLine) + p.Cfg.DividerCyclesPerLine
-			if d > divDone {
-				divDone = d
-			}
-		}
-		for i := 0; i < prof.SegPairs; i++ {
-			c := p.IUPool.Acquire(divDone, p.Cfg.IUCyclesPerPair) + p.Cfg.IUCyclesPerPair
-			if c > tComp {
-				tComp = c
-			}
-		}
+		divDone := p.DivPool.AcquireBatch(tIssue, p.Cfg.DividerCyclesPerLine, prof.InputLines)
+		tComp = p.IUPool.AcquireBatch(divDone, p.Cfg.IUCyclesPerPair, prof.SegPairs)
 	}
 
 	// Writeback: store the output set to L1 (intermediate region).
 	tWB := tComp
-	if prof.OutBytes > 0 && n.Slot >= 0 {
+	if prof.OutBytes > 0 && fl.n.Slot >= 0 {
 		occ := p.Cfg.WritebackPerLine * sim.Time(prof.OutputLines)
 		p.writebackU.Acquire(tComp, occ)
 		wbDone := mem.AccessRange(p.L1, tComp, prof.OutAddr, prof.OutBytes, true)
@@ -426,11 +481,12 @@ func (p *PE) stageDispatch(n *task.Node, prof task.Profile, spmNeed int, slotSta
 	// the compute span (the phase partition must be gap-free).
 	p.PhaseCompute.Add(tComp - dataReady)
 	p.PhaseWB.Add(tWB - tComp)
-	p.Eng.At(tWB, func() { p.finish(n, spmNeed, slotStart) })
+	p.Eng.Post(tWB, p, peOpFinish, fl)
 }
 
-func (p *PE) finish(n *task.Node, spmHeld int, slotStart sim.Time) {
+func (p *PE) finish(fl *inflight) {
 	now := p.Eng.Now()
+	n := fl.n
 	res := p.policy.OnComplete(n, now)
 	p.Embeddings += res.Embeddings
 	p.LeafTasks.Inc(int64(res.Leaves))
@@ -460,24 +516,31 @@ func (p *PE) finish(n *task.Node, spmHeld int, slotStart sim.Time) {
 	}
 	p.PhaseLeaf.Add(tDone - leafStart)
 
-	p.SlotResidency.Add(tDone - slotStart)
-	p.LifetimeHist.Observe(int64(tDone - slotStart))
+	p.SlotResidency.Add(tDone - fl.slotStart)
+	p.LifetimeHist.Observe(int64(tDone - fl.slotStart))
 	if tDone > p.LastActive {
 		p.LastActive = tDone
 	}
 	if p.Tracer != nil {
 		p.Tracer.TaskDone(trace.Event{
 			PE: p.ID, TreeID: n.TreeID, Depth: n.Depth, Vertex: int32(n.Vertex),
-			Start: slotStart, Done: tDone, Leaves: res.Leaves,
+			Start: fl.slotStart, Done: tDone, Leaves: res.Leaves,
 		})
 	}
-	p.Eng.At(tDone, func() {
-		if spmHeld > 0 {
-			p.SPM.Release(p.Eng.Now(), spmHeld)
-		}
-		p.Slots.Release(p.Eng.Now(), 1)
-		p.Kick()
-	})
+	p.Eng.Post(tDone, p, peOpRelease, fl)
+}
+
+// release returns the task's SPM lines and execution slot and recycles
+// its inflight record.
+func (p *PE) release(fl *inflight) {
+	now := p.Eng.Now()
+	spmHeld := fl.spmNeed
+	p.recycleInflight(fl)
+	if spmHeld > 0 {
+		p.SPM.Release(now, spmHeld)
+	}
+	p.Slots.Release(now, 1)
+	p.Kick()
 }
 
 // ensureMonitor starts the periodic locality monitor while the PE is busy.
@@ -490,7 +553,7 @@ func (p *PE) ensureMonitor() {
 	}
 	p.monitorOn = true
 	p.iuBusyAtRoll = p.IUPool.Busy()
-	p.Eng.After(p.Cfg.MonitorPeriod, p.monitorTick)
+	p.Eng.PostAfter(p.Cfg.MonitorPeriod, p, peOpMonitor, nil)
 }
 
 func (p *PE) monitorTick() {

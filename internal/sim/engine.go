@@ -9,77 +9,230 @@
 // modeled as pools whose Acquire returns the earliest start time. This
 // keeps whole-evaluation-grid simulations tractable while preserving the
 // contention behaviour the paper's results depend on.
+//
+// # Event engine internals
+//
+// Events are intrusive, free-listed nodes owned by the engine: scheduling
+// allocates from an engine-local freelist (refilled in blocks) and every
+// executed event is recycled, so steady-state simulation schedules with
+// zero heap allocations. Two callback forms exist: the legacy func()
+// form (whose closure the *caller* allocates) and the non-capturing
+// Actor form — a receiver interface plus an integer op code and a
+// pointer-sized argument — which allocates nothing at the call site.
+//
+// Two queue disciplines implement the same deterministic total order,
+// (time, sequence): a hierarchical calendar queue (default; O(1) for the
+// short-delay events that dominate simulation) and a binary heap kept as
+// an escape hatch and differential-testing foil. See calendar.go for the
+// structure and the determinism argument.
 package sim
 
-import "container/heap"
+import (
+	"fmt"
+	"os"
+	"sync"
+)
 
 // Time is a cycle count.
 type Time = int64
 
+// Actor is the non-capturing event callback: the engine invokes
+// Act(op, arg) when the event fires. A component implements one Act
+// method and dispatches on its own op codes; arg carries an optional
+// pointer payload (storing a pointer in an interface does not allocate,
+// so actor events are allocation-free end to end, unlike closures).
+type Actor interface {
+	Act(op int, arg any)
+}
+
+// event is one scheduled callback. Nodes are engine-owned and recycled
+// through a freelist; next links either a calendar-bucket FIFO chain or
+// the freelist.
 type event struct {
-	at  Time
-	seq int64
+	at   Time
+	seq  int64
+	next *event
+
+	// Exactly one callback form is set: fn, or act (+op/arg).
 	fn  func()
+	act Actor
+	op  int
+	arg any
 }
 
-type eventHeap []event
+// before reports whether e precedes o in the deterministic total order.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventQueue is the priority-queue contract shared by the calendar and
+// heap disciplines: pop/peek return the (at, seq)-minimal event.
+type eventQueue interface {
+	push(*event)
+	pop() *event  // nil when empty
+	peek() *event // nil when empty; must be O(1) amortized
+	len() int
+}
+
+// QueueKind selects the event-queue discipline.
+type QueueKind int
+
+const (
+	// QueueCalendar is the hierarchical calendar queue (default).
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the binary-heap fallback.
+	QueueHeap
+)
+
+// String names the kind the way ParseQueueKind accepts it.
+func (k QueueKind) String() string {
+	if k == QueueHeap {
+		return "heap"
 	}
-	return h[i].seq < h[j].seq
+	return "calendar"
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+// ParseQueueKind maps the -queue flag / Config.EventQueue spelling to a
+// QueueKind. The empty string selects the process default: calendar,
+// unless the SHOGUN_EVENT_QUEUE environment variable overrides it (the
+// hook CI uses to force every test through one discipline).
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "":
+		return defaultQueueKind(), nil
+	case "calendar":
+		return QueueCalendar, nil
+	case "heap":
+		return QueueHeap, nil
+	}
+	return QueueCalendar, fmt.Errorf("sim: unknown event queue %q (want heap or calendar)", s)
+}
+
+var defaultQueueKind = sync.OnceValue(func() QueueKind {
+	if os.Getenv("SHOGUN_EVENT_QUEUE") == "heap" {
+		return QueueHeap
+	}
+	return QueueCalendar
+})
+
+// Engine is a deterministic discrete-event simulator. Events scheduled
+// for the same time run in scheduling order, regardless of the queue
+// discipline in use.
+type Engine struct {
+	q    eventQueue
+	kind QueueKind
+	now  Time
+	seq  int64
+	// Processed counts executed events (a cheap progress/cost metric).
+	Processed int64
+
+	// Event-node freelist: recycled nodes first, then a bump-pointer
+	// block so cold starts allocate in batches rather than per event.
+	free  *event
+	block []event
+}
+
+// NewEngine returns an engine at time 0 using the default queue
+// discipline (calendar, unless SHOGUN_EVENT_QUEUE=heap).
+func NewEngine() *Engine { return NewEngineQueue(defaultQueueKind()) }
+
+// NewEngineQueue returns an engine at time 0 using the given queue
+// discipline.
+func NewEngineQueue(kind QueueKind) *Engine {
+	e := &Engine{kind: kind}
+	if kind == QueueHeap {
+		e.q = &heapQueue{}
+	} else {
+		e.q = newCalendarQueue()
+	}
 	return e
 }
 
-// Engine is a deterministic discrete-event simulator. Events scheduled for
-// the same time run in scheduling order.
-type Engine struct {
-	pq  eventHeap
-	now Time
-	seq int64
-	// Processed counts executed events (a cheap progress/cost metric).
-	Processed int64
-}
-
-// NewEngine returns an engine at time 0.
-func NewEngine() *Engine { return &Engine{} }
+// Queue reports the engine's queue discipline.
+func (e *Engine) Queue() QueueKind { return e.kind }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
+const eventBlock = 256
+
+func (e *Engine) alloc(t Time) *event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		if len(e.block) == 0 {
+			e.block = make([]event, eventBlock)
+		}
+		ev = &e.block[0]
+		e.block = e.block[1:]
+	}
+	e.seq++
+	ev.at = t
+	ev.seq = e.seq
+	return ev
+}
+
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.act = nil
+	ev.arg = nil
+	ev.next = e.free
+	e.free = ev
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is a
-// modeling bug; it panics to surface the error immediately.
+// modeling bug; it panics to surface the error immediately. Prefer Post
+// on hot paths: fn is almost always a closure the caller allocates.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.q.push(ev)
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// Post schedules a.Act(op, arg) to run at absolute time t — the
+// allocation-free counterpart of At. Scheduling in the past panics.
+func (e *Engine) Post(t Time, a Actor, op int, arg any) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := e.alloc(t)
+	ev.act = a
+	ev.op = op
+	ev.arg = arg
+	e.q.push(ev)
+}
+
+// PostAfter schedules a.Act(op, arg) to run d cycles from now.
+func (e *Engine) PostAfter(d Time, a Actor, op int, arg any) {
+	e.Post(e.now+d, a, op, arg)
+}
+
 // Step runs the earliest pending event. It reports false when no events
 // remain.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	ev := e.q.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
 	e.now = ev.at
 	e.Processed++
-	ev.fn()
+	// Copy the callback out and recycle before running: the handler may
+	// schedule new events, which then reuse the hot node immediately.
+	fn, act, op, arg := ev.fn, ev.act, ev.op, ev.arg
+	e.recycle(ev)
+	if fn != nil {
+		fn()
+	} else {
+		act.Act(op, arg)
+	}
 	return true
 }
 
@@ -92,11 +245,27 @@ func (e *Engine) Run() {
 // RunUntil executes events with time ≤ deadline; returns false if the
 // event queue drained first.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+	for {
+		ev := e.q.peek()
+		if ev == nil {
+			return false
+		}
+		if ev.at > deadline {
+			return true
+		}
 		e.Step()
 	}
-	return len(e.pq) > 0
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.q.len() }
+
+// NextAt reports the earliest pending event time; ok is false when the
+// queue is empty.
+func (e *Engine) NextAt() (t Time, ok bool) {
+	ev := e.q.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

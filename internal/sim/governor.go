@@ -81,10 +81,14 @@ func (e *Engine) RunGoverned(ctx context.Context, b Budget) error {
 	}
 	var processed, sincePoll, stalled int64
 	lastNow := e.now
-	for len(e.pq) > 0 {
-		if b.Deadline > 0 && e.pq[0].at > b.Deadline {
+	for {
+		next := e.q.peek()
+		if next == nil {
+			break
+		}
+		if b.Deadline > 0 && next.at > b.Deadline {
 			return fmt.Errorf("%w: next event at cycle %d, deadline %d (%d events pending)",
-				ErrDeadline, e.pq[0].at, b.Deadline, len(e.pq))
+				ErrDeadline, next.at, b.Deadline, e.q.len())
 		}
 		e.Step()
 		processed++
@@ -95,9 +99,9 @@ func (e *Engine) RunGoverned(ctx context.Context, b Budget) error {
 			return fmt.Errorf("%w: %d events at cycle %d without time advancing",
 				ErrNoProgress, stalled, e.now)
 		}
-		if b.MaxEvents > 0 && processed >= b.MaxEvents && len(e.pq) > 0 {
+		if b.MaxEvents > 0 && processed >= b.MaxEvents && e.q.len() > 0 {
 			return fmt.Errorf("%w: %d events processed, %d still pending at cycle %d",
-				ErrEventBudget, processed, len(e.pq), e.now)
+				ErrEventBudget, processed, e.q.len(), e.now)
 		}
 		if sincePoll++; sincePoll >= poll {
 			sincePoll = 0
@@ -171,7 +175,7 @@ func (s *Snapshot) Blocked() []ResourceSnap {
 // Snapshot captures the engine's progress counters. Callers append
 // resource states and notes for their own components.
 func (e *Engine) Snapshot() *Snapshot {
-	return &Snapshot{Now: e.now, PendingEvents: len(e.pq), ProcessedEvents: e.Processed}
+	return &Snapshot{Now: e.now, PendingEvents: e.q.len(), ProcessedEvents: e.Processed}
 }
 
 // InvariantError converts an internal invariant panic, recovered at a

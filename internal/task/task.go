@@ -263,6 +263,16 @@ func (w *Workload) resolve(n *Node, ref pattern.SetRef, path []graph.VertexID) (
 // output set (-1 if the output is not stored — only legal for leaf-depth
 // nodes). Execute must be called exactly once per node.
 func (w *Workload) Execute(n *Node, slot int) Profile {
+	return w.ExecuteReuse(n, slot, nil)
+}
+
+// ExecuteReuse is Execute with a caller-provided backing array for the
+// profile's Reads list. The PE pipeline passes each in-flight task's
+// scratch buffer so the hot path stays allocation-free; Reads only
+// escapes to a fresh allocation if a plan needs more input fetches than
+// the buffer holds. reads must be empty (length 0) and is otherwise
+// treated as append's backing.
+func (w *Workload) ExecuteReuse(n *Node, slot int, reads []Read) Profile {
 	if n.Executed {
 		panic("task: node executed twice")
 	}
@@ -271,6 +281,7 @@ func (w *Workload) Execute(n *Node, slot int) Profile {
 	n.Slot = slot
 
 	var prof Profile
+	prof.Reads = reads
 	if n.Depth == w.LeafDepth() {
 		prof.Leaf = true
 		return prof
