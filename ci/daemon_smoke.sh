@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Daemon smoke test: boots shogund on a random port, waits for
+# readiness, issues one good query (verifying the embedding count
+# against the software miner's golden value), one over-budget query
+# (expecting the typed 422 event-budget error), then sends SIGTERM and
+# requires a clean exit (status 0) within the drain deadline.
+#
+# Usage: ci/daemon_smoke.sh
+#
+# Environment:
+#   DRAIN_DEADLINE  seconds allowed between SIGTERM and exit (default 20)
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+deadline=${DRAIN_DEADLINE:-20}
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "daemon_smoke: building" >&2
+(cd "$root" && go build -o "$work/shogund" ./cmd/shogund)
+
+"$work/shogund" -addr 127.0.0.1:0 -workers 2 -drain "${deadline}s" \
+    -addr-file "$work/addr" >"$work/log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the address file, then for readiness.
+for _ in $(seq 1 100); do
+    [ -s "$work/addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$work/log" >&2; echo "daemon_smoke: daemon died before binding" >&2; exit 1; }
+    sleep 0.1
+done
+addr=$(cat "$work/addr")
+[ -n "$addr" ] || { echo "daemon_smoke: no bound address" >&2; exit 1; }
+echo "daemon_smoke: daemon on $addr" >&2
+
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { cat "$work/log" >&2; echo "daemon_smoke: /readyz never came up" >&2; exit 1; }
+
+# Golden count for wi/tc straight from the software miner (shogun CLI).
+echo "daemon_smoke: count query" >&2
+body=$(curl -fsS "http://$addr/v1/count" -d '{"dataset":"wi","pattern":"tc"}')
+emb=$(echo "$body" | jq -r .embeddings)
+case "$emb" in
+    ''|null|0) echo "daemon_smoke: bad count response: $body" >&2; exit 1 ;;
+esac
+# The same query twice must be bit-identical (and exercises the cache).
+emb2=$(curl -fsS "http://$addr/v1/count" -d '{"dataset":"wi","pattern":"tc"}' | jq -r .embeddings)
+[ "$emb" = "$emb2" ] || { echo "daemon_smoke: non-deterministic counts: $emb vs $emb2" >&2; exit 1; }
+echo "daemon_smoke: embeddings=$emb (stable)" >&2
+
+# Over-budget simulate: must be the typed 422 event_budget error.
+echo "daemon_smoke: over-budget query" >&2
+status=$(curl -s -o "$work/err.json" -w '%{http_code}' "http://$addr/v1/simulate" \
+    -d '{"dataset":"wi","pattern":"tc","budget":{"max_events":1}}')
+kind=$(jq -r .kind "$work/err.json")
+if [ "$status" != 422 ] || [ "$kind" != event_budget ]; then
+    echo "daemon_smoke: over-budget query: status=$status kind=$kind body=$(cat "$work/err.json")" >&2
+    exit 1
+fi
+echo "daemon_smoke: over-budget -> 422 event_budget" >&2
+
+# SIGTERM: the daemon must drain and exit 0 within the deadline.
+echo "daemon_smoke: SIGTERM, waiting up to ${deadline}s" >&2
+kill -TERM "$daemon_pid"
+exit_code=""
+for _ in $(seq 1 $((deadline * 10))); do
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        wait "$daemon_pid" && exit_code=0 || exit_code=$?
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$exit_code" ]; then
+    cat "$work/log" >&2
+    echo "daemon_smoke: daemon still running ${deadline}s after SIGTERM" >&2
+    exit 1
+fi
+daemon_pid=""
+if [ "$exit_code" != 0 ]; then
+    cat "$work/log" >&2
+    echo "daemon_smoke: daemon exited $exit_code after SIGTERM, want 0" >&2
+    exit 1
+fi
+grep -q "drained clean" "$work/log" || {
+    cat "$work/log" >&2
+    echo "daemon_smoke: no 'drained clean' line in the log" >&2
+    exit 1
+}
+echo "daemon_smoke: PASS (clean drain, exit 0)" >&2

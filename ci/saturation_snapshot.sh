@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Saturation snapshot: boots shogund, runs the shogunload open-loop QPS
+# sweep against it, and writes one BENCH_<id>.json point (schema
+# shogun-saturation-v1) recording p50/p99 accepted latency, shed rate
+# and typed-error counts per offered-load level. The companion of
+# ci/bench_snapshot.sh for the serving dimension.
+#
+# Usage: ci/saturation_snapshot.sh <id> [outfile]
+#   id       trajectory point id, e.g. 0007 -> BENCH_0007.json
+#   outfile  defaults to BENCH_<id>.json in the repo root
+#
+# Environment:
+#   SAT_WORKERS   daemon worker pool size (default 2)
+#   SAT_QPS       comma-separated offered QPS levels (default "25,50,100,200")
+#   SAT_DURATION  time per level (default 4s)
+#   SAT_DATASET   dataset analogue (default wi)
+#   SAT_PATTERN   pattern (default tc)
+set -euo pipefail
+
+id=${1:?usage: saturation_snapshot.sh <id> [outfile]}
+root=$(cd "$(dirname "$0")/.." && pwd)
+out=${2:-"$root/BENCH_${id}.json"}
+workers=${SAT_WORKERS:-2}
+qps=${SAT_QPS:-"25,50,100,200"}
+duration=${SAT_DURATION:-4s}
+dataset=${SAT_DATASET:-wi}
+pat=${SAT_PATTERN:-tc}
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "saturation_snapshot: building" >&2
+(cd "$root" && go build -o "$work/shogund" ./cmd/shogund)
+(cd "$root" && go build -o "$work/shogunload" ./cmd/shogunload)
+
+"$work/shogund" -addr 127.0.0.1:0 -workers "$workers" -addr-file "$work/addr" \
+    >"$work/log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$work/addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$work/log" >&2; exit 1; }
+    sleep 0.1
+done
+addr=$(cat "$work/addr")
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+echo "saturation_snapshot: daemon on $addr (workers=$workers)" >&2
+
+commit=$(cd "$root" && git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+# Golden count from one uncontended software-miner query; the sweep then
+# requires every accepted response to be bit-identical to it.
+golden=$(curl -fsS "http://$addr/v1/count" \
+    -d "{\"dataset\":\"$dataset\",\"pattern\":\"$pat\"}" | jq -r .embeddings)
+expect_flag=()
+case "$golden" in
+    ''|null) echo "saturation_snapshot: no golden count; skipping -expect" >&2 ;;
+    *) expect_flag=(-expect "$golden")
+       echo "saturation_snapshot: golden embeddings=$golden" >&2 ;;
+esac
+"$work/shogunload" -addr "$addr" -op count -dataset "$dataset" -pattern "$pat" \
+    -qps "$qps" -duration "$duration" "${expect_flag[@]}" \
+    -snapshot-out "$out" -snapshot-id "$id" -commit "$commit"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "saturation_snapshot: daemon exited dirty" >&2; exit 1; }
+daemon_pid=""
+echo "saturation_snapshot: wrote $out" >&2

@@ -1,0 +1,121 @@
+// Command shogund is the long-lived mining-as-a-service daemon: it
+// serves count/mine/simulate queries over HTTP+JSON with admission
+// control (bounded worker pool + bounded wait queue, overflow shed with
+// 429), per-request governor budgets, a memory-budgeted single-flight
+// graph/schedule cache, per-request panic isolation, and a graceful
+// drain on SIGTERM/SIGINT (stop admitting, finish or cancel in-flight
+// work within -drain, exit 0).
+//
+// Usage:
+//
+//	shogund -addr :8477 -workers 8 -queue 16
+//	curl -s localhost:8477/v1/count -d '{"dataset":"wi","pattern":"tc"}'
+//	curl -s localhost:8477/readyz
+//
+// Endpoints: POST /v1/count, /v1/mine, /v1/simulate; GET /healthz,
+// /readyz, /statz. See DESIGN.md "Serving & overload behavior" for the
+// request schema and the typed-error status table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shogun/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8477", "listen address (\":0\" picks a free port)")
+		workers   = flag.Int("workers", 4, "worker pool size (concurrently executing queries)")
+		queue     = flag.Int("queue", -1, "wait-queue depth; overflow is shed with 429 (-1 = 2*workers)")
+		cacheMB   = flag.Int64("cache-mb", 256, "graph/schedule cache memory budget in MiB")
+		bodyMB    = flag.Int64("max-body-mb", 8, "request body (graph upload) cap in MiB")
+		maxWall   = flag.Duration("max-wall", 30*time.Second, "per-request wall-clock ceiling (requests may tighten, not exceed)")
+		defWall   = flag.Duration("default-wall", 0, "wall budget when a request specifies none (0 = -max-wall)")
+		maxEvents = flag.Int64("max-events", 0, "per-request simulation event ceiling (0 = none)")
+		miners    = flag.Int("miner-workers", 1, "software-miner goroutines per request")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (smoke tests)")
+		verbose   = flag.Bool("v", false, "log one line per served request")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cacheMB, *bodyMB, *maxWall, *defWall, *maxEvents, *miners, *drain, *addrFile, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "shogund:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, cacheMB, bodyMB int64, maxWall, defWall time.Duration, maxEvents int64, miners int, drain time.Duration, addrFile string, verbose bool) error {
+	cfg := serve.Config{
+		Addr:         addr,
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheBytes:   cacheMB << 20,
+		MaxBodyBytes: bodyMB << 20,
+		MaxWall:      maxWall,
+		DefaultWall:  defWall,
+		MaxEvents:    maxEvents,
+		MinerWorkers: miners,
+	}
+	switch {
+	case queue == -1:
+		cfg.QueueDepth = 0 // fill() turns 0 into the 2×workers default
+	case queue <= 0:
+		cfg.QueueDepth = -1 // literally no wait queue: busy pool sheds instantly
+	default:
+		cfg.QueueDepth = queue
+	}
+	if verbose {
+		cfg.Log = os.Stderr
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	st := s.StatsSnapshot()
+	fmt.Printf("shogund: serving on http://%s/ (workers=%d queue=%d cache=%dMiB drain=%v)\n",
+		s.Addr(), st.Admission.Workers, st.Admission.QueueDepth, cacheMB, drain)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			s.Close()
+			return fmt.Errorf("addr-file: %w", err)
+		}
+	}
+
+	// The serve loop and the signal handler race toward done: on
+	// SIGTERM/SIGINT the daemon drains (stop admitting → finish or
+	// cancel in-flight → exit 0); a second signal aborts immediately.
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve() }()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("shogund: %v: draining (deadline %v)\n", sig, drain)
+		drained := make(chan error, 1)
+		go func() { drained <- s.Drain(drain) }()
+		select {
+		case err := <-drained:
+			if err != nil {
+				return err
+			}
+			if err := <-errc; err != nil {
+				return err
+			}
+			st := s.StatsSnapshot()
+			fmt.Printf("shogund: drained clean (served=%d shed=%d refused=%d)\n",
+				st.Served, st.Admission.Shed, st.Admission.Refused)
+			return nil
+		case sig := <-sigc:
+			s.Close()
+			return fmt.Errorf("second signal (%v) before drain finished, aborting", sig)
+		}
+	}
+}

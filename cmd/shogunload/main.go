@@ -1,0 +1,178 @@
+// Command shogunload is the open-loop load generator for shogund: it
+// offers fixed arrival rates (QPS) of identical queries for a fixed
+// duration per level and reports client-observed p50/p99 latency, shed
+// rate and typed-error counts per level — the saturation experiment
+// behind BENCH_0007.json.
+//
+// Usage:
+//
+//	shogunload -addr 127.0.0.1:8477 -op count -dataset wi -pattern tc \
+//	    -qps 50,100,200,400 -duration 5s
+//	shogunload -addr 127.0.0.1:8477 -snapshot-out BENCH_0007.json -snapshot-id 0007
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"shogun/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8477", "shogund address (host:port)")
+		op       = flag.String("op", "count", "query kind: count|mine|simulate")
+		dataset  = flag.String("dataset", "wi", "dataset analogue to query")
+		patName  = flag.String("pattern", "tc", "pattern to query")
+		scheme   = flag.String("scheme", "shogun", "scheme (simulate op)")
+		qpsList  = flag.String("qps", "50,100,200", "comma-separated offered QPS levels")
+		duration = flag.Duration("duration", 5*time.Second, "time per load level")
+		wallMS   = flag.Int64("max-wall-ms", 0, "per-request wall budget sent to the daemon (0 = daemon default)")
+		maxEv    = flag.Int64("max-events", 0, "per-request event budget (simulate op; 0 = daemon default)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "client-side per-request timeout")
+		expect   = flag.Int64("expect", -1, "golden embedding count; fail if any 2xx response disagrees (-1 = skip)")
+		jsonOut  = flag.String("json", "", "write the sweep reports as JSON to this file")
+		snapOut  = flag.String("snapshot-out", "", "write a BENCH-style saturation snapshot to this file")
+		snapID   = flag.String("snapshot-id", "", "snapshot id recorded in -snapshot-out (e.g. 0007)")
+		commit   = flag.String("commit", "", "commit hash recorded in -snapshot-out")
+	)
+	flag.Parse()
+	if err := run(*addr, *op, *dataset, *patName, *scheme, *qpsList, *duration, *wallMS, *maxEv, *timeout, *expect, *jsonOut, *snapOut, *snapID, *commit); err != nil {
+		fmt.Fprintln(os.Stderr, "shogunload:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepDoc is the JSON artifact (-json / the "sweep" field of the
+// snapshot).
+type sweepDoc struct {
+	Target   string              `json:"target"`
+	Op       string              `json:"op"`
+	Dataset  string              `json:"dataset"`
+	Pattern  string              `json:"pattern"`
+	Scheme   string              `json:"scheme,omitempty"`
+	Levels   []*serve.LoadReport `json:"levels"`
+	Verified bool                `json:"verified"` // all 2xx responses matched -expect
+}
+
+// snapshotDoc mirrors the BENCH_*.json trajectory format for the
+// saturation dimension.
+type snapshotDoc struct {
+	Schema string    `json:"schema"`
+	ID     string    `json:"id"`
+	Commit string    `json:"commit,omitempty"`
+	Date   string    `json:"date"`
+	Sweep  *sweepDoc `json:"saturation"`
+}
+
+func run(addr, op, dataset, patName, scheme, qpsList string, duration time.Duration, wallMS, maxEv int64, timeout time.Duration, expect int64, jsonOut, snapOut, snapID, commit string) error {
+	levels, err := parseQPS(qpsList)
+	if err != nil {
+		return err
+	}
+	req := serve.Request{
+		Dataset: dataset,
+		Pattern: patName,
+		Budget:  serve.Budget{MaxWallMS: wallMS, MaxEvents: maxEv},
+	}
+	if op == string(serve.OpSimulate) {
+		req.Scheme = scheme
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("http://%s/v1/%s", addr, op)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	doc := &sweepDoc{Target: addr, Op: op, Dataset: dataset, Pattern: patName, Verified: expect >= 0}
+	if op == string(serve.OpSimulate) {
+		doc.Scheme = scheme
+	}
+	fmt.Printf("shogunload: %s %s dataset=%s pattern=%s levels=%v duration=%v\n",
+		url, op, dataset, patName, levels, duration)
+	for _, qps := range levels {
+		rep, err := serve.RunLoad(ctx, serve.LoadOptions{
+			URL: url, Body: body, QPS: qps, Duration: duration, Timeout: timeout,
+		})
+		if rep != nil {
+			doc.Levels = append(doc.Levels, rep)
+			fmt.Println(" ", rep)
+			if expect >= 0 {
+				for emb, n := range rep.Embeddings {
+					if emb != expect {
+						doc.Verified = false
+						return fmt.Errorf("qps=%g: %d accepted responses returned %d embeddings, want %d", qps, n, emb, expect)
+					}
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if jsonOut != "" {
+		if err := writeJSON(jsonOut, doc); err != nil {
+			return err
+		}
+		fmt.Println("shogunload: wrote", jsonOut)
+	}
+	if snapOut != "" {
+		snap := &snapshotDoc{
+			Schema: "shogun-saturation-v1",
+			ID:     snapID,
+			Commit: commit,
+			Date:   time.Now().UTC().Format(time.RFC3339),
+			Sweep:  doc,
+		}
+		if err := writeJSON(snapOut, snap); err != nil {
+			return err
+		}
+		fmt.Println("shogunload: wrote", snapOut)
+	}
+	return nil
+}
+
+func parseQPS(list string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -qps entry %q (want positive numbers, e.g. \"50,100,200\")", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-qps lists no levels")
+	}
+	return out, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,86 @@
+package shogun
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests pin the error *messages* of the public loading surface:
+// a daemon returns them verbatim to remote callers, so they must name
+// the failing input and, where the input space is enumerable, the valid
+// choices.
+
+func TestLoadGraphMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-graph.txt")
+	_, err := LoadGraph(path)
+	if err == nil {
+		t.Fatal("LoadGraph on a missing file succeeded")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("want a not-exist error, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-graph.txt") {
+		t.Fatalf("error does not name the missing path: %v", err)
+	}
+}
+
+func TestLoadGraphMalformedFile(t *testing.T) {
+	cases := []struct {
+		name, content, wantSub string
+	}{
+		{"one field", "0 1\n2\n", "line 2"},
+		{"non-numeric", "0 1\nalpha beta\n", "line 2"},
+		{"negative id", "0 1\n-3 4\n", "line 2"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(t.TempDir(), "bad.txt")
+		if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadGraph(path)
+		if err == nil {
+			t.Fatalf("%s: malformed edge list accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not locate the bad line (want %q)",
+				tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestDatasetUnknownNameListsChoices(t *testing.T) {
+	_, err := Dataset("nope")
+	if err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"nope"`) {
+		t.Fatalf("error does not echo the bad name: %v", err)
+	}
+	// An actionable message enumerates what would have worked.
+	for _, name := range DatasetNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list valid dataset %q: %v", name, err)
+		}
+	}
+}
+
+func TestPatternByNameUnknown(t *testing.T) {
+	_, err := PatternByName("dodecahedron")
+	if err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if !strings.Contains(err.Error(), "dodecahedron") {
+		t.Fatalf("error does not echo the bad name: %v", err)
+	}
+	// Known names — including the induced-variant suffix convention —
+	// must keep resolving, or the message above is lying about the
+	// valid space.
+	for _, name := range []string{"tc", "tt", "tt_v", "4cl", "5cl", "dia", "house"} {
+		if _, err := PatternByName(name); err != nil {
+			t.Fatalf("PatternByName(%q): %v", name, err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"shogun/internal/metrics"
 	"shogun/internal/mine"
 	"shogun/internal/pattern"
+	"shogun/internal/serve"
 	"shogun/internal/sim"
 	"shogun/internal/telemetry"
 	"shogun/internal/trace"
@@ -203,20 +204,24 @@ func runCells(o Options, cells []cell) (*Grid, error) {
 	return grid, nil
 }
 
-// countCall is a single-flight slot for one (graph, schedule) golden
-// count: the first caller mines, every concurrent caller for the same
-// key blocks on the same once instead of duplicating the mine.
-type countCall struct {
-	once sync.Once
-	val  int64
-}
-
 var (
-	countMu    sync.Mutex
-	countCache = map[string]*countCall{}
+	// countCache holds golden (graph, schedule) embedding counts behind
+	// the daemon's single-flight LRU: concurrent cells for the same key
+	// share one mine, and a long sweep over many generated graphs cannot
+	// grow the cache without bound. Each entry is charged a nominal size
+	// so the budget is an entry-count bound (the int64 itself is tiny;
+	// what the budget limits is key accumulation).
+	countCache = serve.NewCache[int64](goldenCacheBudget)
 	// countComputes counts actual golden mines (test hook for the
 	// single-flight property).
 	countComputes int64
+)
+
+// goldenCacheBudget bounds the golden-count cache: countEntryBytes per
+// cached key, 4096 keys — far beyond any real sweep, small in memory.
+const (
+	countEntryBytes   = 256
+	goldenCacheBudget = 4096 * countEntryBytes
 )
 
 // expectedCount returns the software miner's embedding count for a
@@ -224,18 +229,11 @@ var (
 // and cached across cells.
 func expectedCount(g *graph.Graph, s *pattern.Schedule, workers int) int64 {
 	key := fmt.Sprintf("%p/%s", g, s.Name)
-	countMu.Lock()
-	c := countCache[key]
-	if c == nil {
-		c = new(countCall)
-		countCache[key] = c
-	}
-	countMu.Unlock()
-	c.once.Do(func() {
+	val, _ := countCache.Get(key, func() (int64, int64, error) {
 		atomic.AddInt64(&countComputes, 1)
-		c.val = mine.ParallelCount(g, s, workers).Embeddings
+		return mine.ParallelCount(g, s, workers).Embeddings, countEntryBytes, nil
 	})
-	return c.val
+	return val
 }
 
 // runOne runs a single cell under the run governor: the per-cell

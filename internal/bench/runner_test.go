@@ -12,7 +12,9 @@ import (
 
 	"shogun/internal/accel"
 	"shogun/internal/gen"
+	"shogun/internal/mine"
 	"shogun/internal/pattern"
+	"shogun/internal/serve"
 )
 
 // TestExpectedCountSingleFlight pins the stampede fix: many concurrent
@@ -58,6 +60,53 @@ func TestExpectedCountSingleFlight(t *testing.T) {
 	expectedCount(g, s2, 2)
 	if got := atomic.LoadInt64(&countComputes) - before; got != 2 {
 		t.Fatalf("cache re-mined: %d computes, want 2", got)
+	}
+}
+
+// TestExpectedCountEvictionStaysCorrect shrinks the golden cache to two
+// entries and cycles three keys through it: every lookup must return
+// the correct count whether it was cached, evicted-and-recomputed, or
+// fresh — the memory bound trades time, never correctness.
+func TestExpectedCountEvictionStaysCorrect(t *testing.T) {
+	saved := countCache
+	countCache = serve.NewCache[int64](2 * countEntryBytes)
+	defer func() { countCache = saved }()
+
+	g := gen.RMAT(256, 1500, 0.6, 0.15, 0.15, 31)
+	scheds := make([]*pattern.Schedule, 0, 3)
+	for _, p := range []pattern.Pattern{pattern.Triangle(), pattern.FourClique(), pattern.TailedTriangle()} {
+		s, err := pattern.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds = append(scheds, s)
+	}
+	// Ground truth, straight from the miner (bypassing the cache).
+	want := make([]int64, len(scheds))
+	for i, s := range scheds {
+		want[i] = mine.ParallelCount(g, s, 2).Embeddings
+	}
+
+	before := atomic.LoadInt64(&countComputes)
+	for round := 0; round < 3; round++ {
+		for i, s := range scheds {
+			if got := expectedCount(g, s, 2); got != want[i] {
+				t.Fatalf("round %d, schedule %s: expectedCount=%d, want %d (stale entry?)",
+					round, s.Name, got, want[i])
+			}
+		}
+	}
+	computes := atomic.LoadInt64(&countComputes) - before
+	// Three keys through a two-slot cache: at least one eviction forces
+	// a recompute (>3), and the cache never exceeds its budget.
+	if computes <= 3 {
+		t.Fatalf("no recompute after eviction: %d computes for 9 lookups over 3 keys", computes)
+	}
+	if used := countCache.Used(); used > 2*countEntryBytes {
+		t.Fatalf("golden cache over budget: %d bytes", used)
+	}
+	if st := countCache.Stats(); st.Evictions == 0 {
+		t.Fatalf("three keys in a two-slot cache evicted nothing: %+v", st)
 	}
 }
 

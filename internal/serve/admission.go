@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission errors; match with errors.Is. The HTTP layer maps
+// ErrOverloaded to 429 (+ Retry-After) and ErrDraining to 503.
+var (
+	// ErrOverloaded reports that both the worker pool and the bounded
+	// wait queue are full: the request is shed immediately rather than
+	// queued without bound.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrDraining reports that the daemon has stopped admitting work
+	// (graceful shutdown in progress).
+	ErrDraining = errors.New("serve: draining, not admitting new work")
+)
+
+// Admission is the daemon's overload gate: a bounded worker pool plus a
+// bounded wait queue. A request first tries to take a worker slot; if
+// none is free it waits in the queue — but only if a queue slot is
+// free, otherwise it is shed instantly with ErrOverloaded. Memory and
+// goroutine usage per daemon are therefore bounded by
+// workers + queueDepth regardless of offered load: overload turns into
+// fast 429s, not latency collapse or OOM.
+type Admission struct {
+	sem      chan struct{} // worker slots
+	queueCap int64
+	waiting  atomic.Int64
+	draining chan struct{}
+	drainOne sync.Once
+
+	admitted atomic.Int64 // granted a worker slot
+	queued   atomic.Int64 // admitted after waiting in the queue
+	shed     atomic.Int64 // rejected with ErrOverloaded
+	refused  atomic.Int64 // rejected with ErrDraining
+	aborted  atomic.Int64 // left the queue on context cancellation
+
+	mu        sync.Mutex
+	ewmaSvcMS float64 // exponentially weighted mean service time
+}
+
+// NewAdmission builds an admission controller with the given worker
+// pool size (minimum 1) and wait-queue depth (minimum 0).
+func NewAdmission(workers, queueDepth int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Admission{
+		sem:      make(chan struct{}, workers),
+		queueCap: int64(queueDepth),
+		draining: make(chan struct{}),
+	}
+}
+
+// Acquire claims a worker slot, waiting in the bounded queue if
+// necessary. It fails fast with ErrOverloaded when the queue is full,
+// with ErrDraining once StartDrain has been called, and with ctx.Err()
+// if the caller gives up while queued. On success the caller must
+// Release exactly once.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case <-a.draining:
+		a.refused.Add(1)
+		return ErrDraining
+	default:
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	// Pool busy: take a queue slot or shed. The counter is the queue —
+	// the goroutine itself is the waiter, parked on the select below.
+	for {
+		n := a.waiting.Load()
+		if n >= a.queueCap {
+			a.shed.Add(1)
+			return ErrOverloaded
+		}
+		if a.waiting.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		a.queued.Add(1)
+		return nil
+	case <-a.draining:
+		a.refused.Add(1)
+		return ErrDraining
+	case <-ctx.Done():
+		a.aborted.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns a worker slot, folding the request's service time
+// into the EWMA that RetryAfter bases its hint on.
+func (a *Admission) Release(service time.Duration) {
+	<-a.sem
+	ms := float64(service) / float64(time.Millisecond)
+	a.mu.Lock()
+	if a.ewmaSvcMS == 0 {
+		a.ewmaSvcMS = ms
+	} else {
+		const alpha = 0.2
+		a.ewmaSvcMS = (1-alpha)*a.ewmaSvcMS + alpha*ms
+	}
+	a.mu.Unlock()
+}
+
+// StartDrain permanently stops admission: queued waiters fail with
+// ErrDraining and future Acquires are refused. Idempotent.
+func (a *Admission) StartDrain() {
+	a.drainOne.Do(func() { close(a.draining) })
+}
+
+// Draining reports whether StartDrain has been called.
+func (a *Admission) Draining() bool {
+	select {
+	case <-a.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryAfter estimates when a shed client should come back: the time
+// for the current backlog (active + queued requests) to clear through
+// the worker pool at the observed mean service time, rounded up to a
+// whole second (the HTTP Retry-After granularity), at least 1s.
+func (a *Admission) RetryAfter() time.Duration {
+	a.mu.Lock()
+	svc := a.ewmaSvcMS
+	a.mu.Unlock()
+	if svc <= 0 {
+		svc = 100 // no completions yet: assume 100ms requests
+	}
+	backlog := float64(len(a.sem)) + float64(a.waiting.Load())
+	workers := float64(cap(a.sem))
+	sec := math.Ceil(backlog * svc / workers / 1000)
+	if sec < 1 {
+		sec = 1
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// AdmissionStats is a point-in-time snapshot of the gate.
+type AdmissionStats struct {
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	Active     int     `json:"active"`
+	Waiting    int     `json:"waiting"`
+	Admitted   int64   `json:"admitted"`
+	Queued     int64   `json:"queued"`
+	Shed       int64   `json:"shed"`
+	Refused    int64   `json:"refused_draining"`
+	Aborted    int64   `json:"aborted_in_queue"`
+	Draining   bool    `json:"draining"`
+	EwmaSvcMS  float64 `json:"ewma_service_ms"`
+}
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	svc := a.ewmaSvcMS
+	a.mu.Unlock()
+	return AdmissionStats{
+		Workers:    cap(a.sem),
+		QueueDepth: int(a.queueCap),
+		Active:     len(a.sem),
+		Waiting:    int(a.waiting.Load()),
+		Admitted:   a.admitted.Load(),
+		Queued:     a.queued.Load(),
+		Shed:       a.shed.Load(),
+		Refused:    a.refused.Load(),
+		Aborted:    a.aborted.Load(),
+		Draining:   a.Draining(),
+		EwmaSvcMS:  svc,
+	}
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// acquireAsync starts an Acquire on its own goroutine and returns the
+// channel its result lands on.
+func acquireAsync(a *Admission, ctx context.Context) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- a.Acquire(ctx) }()
+	return ch
+}
+
+// waitStats polls until pred is true or the deadline passes; admission
+// state transitions (a waiter parking in the queue) are asynchronous, so
+// tests observe them through the counters rather than sleeping blind.
+func waitStats(t *testing.T, a *Admission, pred func(AdmissionStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred(a.Stats()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("admission state never reached expectation; last: %+v", a.Stats())
+}
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	st := a.Stats()
+	if st.Active != 2 || st.Admitted != 2 || st.Queued != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	a.Release(10 * time.Millisecond)
+	a.Release(10 * time.Millisecond)
+	if st := a.Stats(); st.Active != 0 {
+		t.Fatalf("active after release: %d", st.Active)
+	}
+}
+
+func TestAdmissionQueuesThenAdmits(t *testing.T) {
+	a := NewAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waiter := acquireAsync(a, ctx)
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Waiting == 1 })
+	select {
+	case err := <-waiter:
+		t.Fatalf("waiter resolved while pool full: %v", err)
+	default:
+	}
+	a.Release(time.Millisecond)
+	if err := <-waiter; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	st := a.Stats()
+	if st.Queued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	a.Release(time.Millisecond)
+}
+
+func TestAdmissionShedsAtFullQueue(t *testing.T) {
+	a := NewAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waiter := acquireAsync(a, ctx)
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Waiting == 1 })
+	// Pool full, queue full: the third caller is shed instantly, no wait.
+	if err := a.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire = %v, want ErrOverloaded", err)
+	}
+	if st := a.Stats(); st.Shed != 1 {
+		t.Fatalf("shed=%d, want 1", st.Shed)
+	}
+	a.Release(time.Millisecond)
+	if err := <-waiter; err != nil {
+		t.Fatalf("queued waiter after shed: %v", err)
+	}
+	a.Release(time.Millisecond)
+}
+
+func TestAdmissionDrainRefusesAndFailsWaiters(t *testing.T) {
+	a := NewAdmission(1, 4)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w1 := acquireAsync(a, ctx)
+	w2 := acquireAsync(a, ctx)
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Waiting == 2 })
+	a.StartDrain()
+	for i, w := range []chan error{w1, w2} {
+		if err := <-w; !errors.Is(err, ErrDraining) {
+			t.Fatalf("waiter %d after drain = %v, want ErrDraining", i, err)
+		}
+	}
+	if err := a.Acquire(ctx); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire after drain = %v, want ErrDraining", err)
+	}
+	st := a.Stats()
+	if !st.Draining || st.Refused != 3 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	a.StartDrain() // idempotent
+	a.Release(time.Millisecond)
+}
+
+func TestAdmissionCtxCancelInQueue(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := acquireAsync(a, ctx)
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Waiting == 1 })
+	cancel()
+	if err := <-waiter; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter = %v, want context.Canceled", err)
+	}
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Waiting == 0 && s.Aborted == 1 })
+	// The abandoned queue slot is reusable.
+	w2 := acquireAsync(a, context.Background())
+	waitStats(t, a, func(s AdmissionStats) bool { return s.Waiting == 1 })
+	a.Release(time.Millisecond)
+	if err := <-w2; err != nil {
+		t.Fatalf("fresh waiter after abort: %v", err)
+	}
+	a.Release(time.Millisecond)
+}
+
+func TestAdmissionZeroQueueShedsImmediately(t *testing.T) {
+	a := NewAdmission(1, 0)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded", err)
+	}
+	if el := time.Since(t0); el > time.Second {
+		t.Fatalf("no-queue shed took %v; must be instant", el)
+	}
+	a.Release(time.Millisecond)
+}
+
+func TestAdmissionRetryAfter(t *testing.T) {
+	a := NewAdmission(2, 8)
+	// No completions yet: hint must still be at least 1s, never zero.
+	if ra := a.RetryAfter(); ra < time.Second {
+		t.Fatalf("cold RetryAfter = %v, want >= 1s", ra)
+	}
+	// Feed known service times (EWMA converges to 2000ms) and fill the
+	// pool: backlog 2 / workers 2 * 2s = 2s.
+	for i := 0; i < 50; i++ {
+		a.sem <- struct{}{}
+		a.Release(2 * time.Second)
+	}
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ra := a.RetryAfter()
+	if ra < time.Second || ra > 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~2s (1s..4s)", ra)
+	}
+	a.Release(time.Millisecond)
+	a.Release(time.Millisecond)
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shogun/internal/accel"
+	"shogun/internal/chaos"
+	"shogun/internal/sim"
+)
+
+// TestChaosUnderLoad is the PR's gate: a client fleet hammers the
+// daemon while every simulation it builds runs under seeded fault
+// injection (latency jitter, forced conservative flips, forced splits).
+// Mid-load the daemon drains. Afterwards every response must have been
+// one of the typed outcomes — 2xx bit-exact against the software miner,
+// 422 event-budget for deliberately starved requests, 429/503 for
+// shed/drained ones — and the daemon must leave nothing behind: no
+// goroutines, admission slots all free, cache within budget.
+func TestChaosUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos load test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	var seed atomic.Int64
+	var injected atomic.Int64
+	var injMu sync.Mutex
+	var injectors []*chaos.Injector
+	cfg := Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    4,
+		QueueDepth: 8,
+		CacheBytes: 32 << 20,
+		OnAccel: func(a *accel.Accelerator) {
+			in := chaos.New(chaos.Config{
+				Seed:        seed.Add(1),
+				JitterPct:   40,
+				FlipPeriod:  sim.Time(64),
+				SplitPeriod: sim.Time(512),
+			})
+			in.Attach(a)
+			injected.Add(1)
+			injMu.Lock()
+			injectors = append(injectors, in)
+			injMu.Unlock()
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+
+	want := golden(t, "wi", "tc")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	type verdict struct {
+		status int
+		kind   string
+		emb    int64
+		err    error
+	}
+	fire := func(body Request, path string) verdict {
+		buf, _ := json.Marshal(body)
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return verdict{err: err}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			var r Response
+			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+				return verdict{status: resp.StatusCode, err: err}
+			}
+			return verdict{status: 200, emb: r.Embeddings}
+		}
+		var e ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			return verdict{status: resp.StatusCode, err: err}
+		}
+		return verdict{status: resp.StatusCode, kind: e.Kind}
+	}
+
+	// Phase 1: the whole fleet runs to completion under fault injection.
+	const fleet = 8
+	const perClient = 8
+	results := make(chan verdict, fleet*perClient+64)
+	var wg sync.WaitGroup
+	for c := 0; c < fleet; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				switch i % 4 {
+				case 0: // chaos-perturbed simulation: must stay bit-exact
+					results <- fire(Request{Dataset: "wi", Pattern: "tc"}, "/v1/simulate")
+				case 1: // software path for comparison
+					results <- fire(Request{Dataset: "wi", Pattern: "tc"}, "/v1/count")
+				case 2: // starved event budget: must be a typed 422
+					results <- fire(Request{Dataset: "wi", Pattern: "tc",
+						Budget: Budget{MaxEvents: 1}}, "/v1/simulate")
+				case 3: // different pattern keeps the cache honest
+					results <- fire(Request{Dataset: "wi", Pattern: "tc", Induced: true}, "/v1/simulate")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Phase 2: a second wave is mid-flight when the daemon drains; its
+	// requests must resolve as typed 503s (or clean transport refusals
+	// once the listener closes), never as hangs or untyped 500s.
+	for c := 0; c < fleet; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				results <- fire(Request{Dataset: "wi", Pattern: "tc"}, "/v1/simulate")
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatalf("Drain mid-load: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	if err := <-served; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	wantInduced := golden(t, "wi", "tc_v")
+	var ok, budgeted, shed, drained, refusedConn int
+	for v := range results {
+		switch {
+		case v.err != nil && v.status == 0:
+			refusedConn++ // listener gone during drain: acceptable
+		case v.err != nil:
+			t.Fatalf("undecodable response (status %d): %v", v.status, v.err)
+		case v.status == 200:
+			ok++
+			if v.emb != want && v.emb != wantInduced {
+				t.Fatalf("chaos broke bit-exactness: got %d embeddings, want %d or %d",
+					v.emb, want, wantInduced)
+			}
+		case v.status == http.StatusUnprocessableEntity:
+			budgeted++
+			if v.kind != "event_budget" {
+				t.Fatalf("422 with kind %q, want event_budget", v.kind)
+			}
+		case v.status == http.StatusTooManyRequests:
+			shed++
+			if v.kind != "overloaded" {
+				t.Fatalf("429 with kind %q", v.kind)
+			}
+		case v.status == http.StatusServiceUnavailable:
+			drained++
+			if v.kind != "draining" {
+				t.Fatalf("503 with kind %q", v.kind)
+			}
+		default:
+			t.Fatalf("unexpected status %d (kind %q)", v.status, v.kind)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded; the chaos harness tested nothing")
+	}
+	if budgeted == 0 {
+		t.Fatal("no starved request surfaced its typed 422")
+	}
+	if injected.Load() == 0 {
+		t.Fatal("no accelerator passed through the injection hook")
+	}
+	var faults int64
+	injMu.Lock()
+	for _, in := range injectors {
+		faults += in.Jitters + in.Flips + in.Splits
+	}
+	injMu.Unlock()
+	if faults == 0 {
+		t.Fatal("injectors attached but no fault ever fired")
+	}
+	t.Logf("chaos load: ok=%d budgeted=%d shed=%d drained=%d refused-conn=%d injectors=%d faults=%d",
+		ok, budgeted, shed, drained, refusedConn, injected.Load(), faults)
+
+	// Leak audit: admission fully released, cache within budget, and the
+	// goroutine count back to (near) the pre-daemon baseline.
+	st := s.StatsSnapshot()
+	if st.Admission.Active != 0 || st.Admission.Waiting != 0 {
+		t.Fatalf("admission leak after drain: %+v", st.Admission)
+	}
+	if st.Graphs.UsedBytes > st.Graphs.Budget || st.Schedules.UsedBytes > st.Schedules.Budget {
+		t.Fatalf("cache over budget after drain: graphs=%+v scheds=%+v", st.Graphs, st.Schedules)
+	}
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.GC()
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosSeedsAreIndependent pins the injection-hook contract: every
+// accelerator gets its own injector (a shared one would race and break
+// determinism), so concurrent seeds must all be distinct.
+func TestChaosSeedsAreIndependent(t *testing.T) {
+	var seed atomic.Int64
+	seen := sync.Map{}
+	var dup atomic.Int64
+	_, base := testServer(t, Config{
+		Workers: 4,
+		OnAccel: func(a *accel.Accelerator) {
+			s := seed.Add(1)
+			if _, loaded := seen.LoadOrStore(s, true); loaded {
+				dup.Add(1)
+			}
+			chaos.New(chaos.Config{Seed: s, JitterPct: 25}).Attach(a)
+		},
+	})
+	var wg sync.WaitGroup
+	want := golden(t, "wi", "tc")
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, r, e, _ := post(t, base+"/v1/simulate", Request{Dataset: "wi", Pattern: "tc"})
+			if status != http.StatusOK {
+				t.Errorf("simulate under jitter: status=%d kind=%v", status, e)
+				return
+			}
+			if r.Embeddings != want {
+				t.Errorf("jitter broke count: %d != %d", r.Embeddings, want)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := dup.Load(); d != 0 {
+		t.Fatalf("%d duplicate injector seeds", d)
+	}
+	if seed.Load() == 0 {
+		t.Fatal("hook never ran")
+	}
+}

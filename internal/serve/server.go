@@ -1,0 +1,739 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shogun/internal/accel"
+	"shogun/internal/datasets"
+	"shogun/internal/graph"
+	"shogun/internal/mine"
+	"shogun/internal/pattern"
+	"shogun/internal/sim"
+	"shogun/internal/telemetry"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Addr is the listen address (":0" picks a free port; see Addr()).
+	Addr string
+	// Workers bounds concurrently executing queries (default 4).
+	Workers int
+	// QueueDepth bounds queries waiting for a worker; overflow is shed
+	// with 429 (default 2×Workers).
+	QueueDepth int
+	// CacheBytes budgets the shared graph/schedule cache (default 256 MiB).
+	CacheBytes int64
+	// MaxBodyBytes caps request bodies, i.e. uploaded edge lists
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxWall is the per-request wall-clock ceiling: a request may ask
+	// for less but never more (default 30s).
+	MaxWall time.Duration
+	// DefaultWall applies when a request specifies no wall budget
+	// (default MaxWall).
+	DefaultWall time.Duration
+	// MaxEvents is the per-request simulation event ceiling (0 = none);
+	// requests may tighten but not exceed it.
+	MaxEvents int64
+	// MinerWorkers bounds the software miner's goroutines per request
+	// (default 1: parallelism comes from the worker pool, not from one
+	// query monopolizing the host).
+	MinerWorkers int
+	// DrainGrace is how long before the drain deadline in-flight work is
+	// hard-cancelled, leaving room to write error responses (default 1s,
+	// clamped to half the drain timeout).
+	DrainGrace time.Duration
+	// NotReadyDelay is how long Drain keeps serving after flipping
+	// /readyz to 503 before it stops accepting connections, giving load
+	// balancers time to notice (default 0; clamped to a quarter of the
+	// drain timeout).
+	NotReadyDelay time.Duration
+	// OnAccel, when set, observes every accelerator the daemon builds,
+	// after accel.New and before the run (the chaos harness's injection
+	// point).
+	OnAccel func(*accel.Accelerator)
+	// Log, when non-nil, receives one line per served request.
+	Log io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxWall <= 0 {
+		c.MaxWall = 30 * time.Second
+	}
+	if c.DefaultWall <= 0 || c.DefaultWall > c.MaxWall {
+		c.DefaultWall = c.MaxWall
+	}
+	if c.MinerWorkers <= 0 {
+		c.MinerWorkers = 1
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+}
+
+// cachedGraph pairs a resolved graph with the key it is cached under
+// (schedules over uploaded graphs reuse the upload hash).
+type cachedGraph struct {
+	g   *graph.Graph
+	key string
+}
+
+// Server is the shogund daemon: one long-lived process serving
+// count/mine/simulate queries with bounded concurrency, bounded memory,
+// typed failure responses, and a graceful drain sequence.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	http   *http.Server
+	adm    *Admission
+	graphs *Cache[cachedGraph]
+	scheds *Cache[*pattern.Schedule]
+
+	// hardCtx cancels in-flight request work when the drain deadline
+	// approaches; per-request contexts are derived from it.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	served     atomic.Int64         // responses written, any status
+	panicked   atomic.Int64         // requests that hit the panic barrier
+	latAccept  *telemetry.Histogram // µs, successful (2xx) requests
+	latShed    *telemetry.Histogram // µs, shed (429) requests
+	queueWait  *telemetry.Histogram // µs, time from arrival to admission
+	statusCnts [6]atomic.Int64      // by status class 0:2xx 1:4xx 2:5xx 3:429 4:499 5:422
+}
+
+// New binds cfg.Addr and returns a ready-to-Serve daemon. It fails fast
+// on an unusable address.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.Addr == "" {
+		cfg.Addr = ":0"
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Addr, err)
+	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		ln:         ln,
+		adm:        NewAdmission(cfg.Workers, cfg.QueueDepth),
+		graphs:     NewCache[cachedGraph](cfg.CacheBytes * 15 / 16),
+		scheds:     NewCache[*pattern.Schedule](cfg.CacheBytes / 16),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+		latAccept:  telemetry.NewHistogram(),
+		latShed:    telemetry.NewHistogram(),
+		queueWait:  telemetry.NewHistogram(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/v1/count", s.handleQuery(OpCount))
+	mux.HandleFunc("/v1/mine", s.handleQuery(OpMine))
+	mux.HandleFunc("/v1/simulate", s.handleQuery(OpSimulate))
+	// The hardened constructor is shared with the telemetry inspection
+	// server: header/read/write/idle timeouts so one slow client cannot
+	// pin a connection forever.
+	s.http = telemetry.HardenedHTTPServer(mux)
+	return s, nil
+}
+
+// Addr reports the bound address (resolves ":0" to the picked port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Drain (or Close) stops the daemon; it
+// returns nil after a clean shutdown.
+func (s *Server) Serve() error {
+	err := s.http.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Drain performs the graceful shutdown sequence: stop admitting (readyz
+// flips to 503, queued waiters fail with ErrDraining), keep answering
+// on open connections for NotReadyDelay so load balancers see the 503,
+// then stop the listener and let in-flight requests finish,
+// hard-cancelling whatever is still running DrainGrace before the
+// deadline. It returns nil when every in-flight request completed
+// (possibly cancelled) within the timeout.
+func (s *Server) Drain(timeout time.Duration) error {
+	start := time.Now()
+	s.adm.StartDrain()
+	grace := s.cfg.DrainGrace
+	if grace > timeout/2 {
+		grace = timeout / 2
+	}
+	hard := time.AfterFunc(timeout-grace, s.hardCancel)
+	defer hard.Stop()
+	if delay := min(s.cfg.NotReadyDelay, timeout/4); delay > 0 {
+		time.Sleep(delay)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout-time.Since(start))
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Deadline blown: cancel outright and tear the server down.
+		s.hardCancel()
+		s.http.Close()
+		return fmt.Errorf("serve: drain exceeded %v: %w", timeout, err)
+	}
+	s.hardCancel()
+	return nil
+}
+
+// Close tears the daemon down immediately (tests); prefer Drain.
+func (s *Server) Close() error {
+	s.adm.StartDrain()
+	s.hardCancel()
+	return s.http.Close()
+}
+
+// Op names a query kind.
+type Op string
+
+// The daemon's query kinds.
+const (
+	OpCount    Op = "count"    // software miner, embedding count only
+	OpMine     Op = "mine"     // software miner, full statistics
+	OpSimulate Op = "simulate" // cycle-level accelerator simulation
+)
+
+// Budget carries a request's resource limits; the server clamps each to
+// its configured ceiling.
+type Budget struct {
+	// MaxEvents aborts a simulation after this many engine events
+	// (0 = server ceiling; count/mine ignore it).
+	MaxEvents int64 `json:"max_events,omitempty"`
+	// DeadlineCycles aborts a simulation past this simulated time.
+	DeadlineCycles int64 `json:"deadline_cycles,omitempty"`
+	// MaxWallMS bounds the request's wall-clock time (0 = server default).
+	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
+}
+
+// Request is the JSON body accepted by /v1/count, /v1/mine and
+// /v1/simulate.
+type Request struct {
+	// Dataset names a built-in analogue (wi|as|yo|pa|lj|or) …
+	Dataset string `json:"dataset,omitempty"`
+	// … or Graph carries an uploaded whitespace edge list ("u v" lines).
+	Graph string `json:"graph,omitempty"`
+	// Pattern names a paper pattern (tc, 4cl, …; _v suffix = induced) …
+	Pattern string `json:"pattern,omitempty"`
+	// … or PatternEdges gives a custom pattern ("0-1,1-2,2-0").
+	PatternEdges string `json:"pattern_edges,omitempty"`
+	// Induced selects vertex-induced matching semantics.
+	Induced bool `json:"induced,omitempty"`
+	// Scheme picks the simulated scheduling scheme (simulate only;
+	// default "shogun").
+	Scheme string `json:"scheme,omitempty"`
+	// PEs / Width override the simulated machine shape (simulate only).
+	PEs   int  `json:"pes,omitempty"`
+	Width int  `json:"width,omitempty"`
+	Split bool `json:"split,omitempty"`
+	Merge bool `json:"merge,omitempty"`
+	// Budget bounds the request.
+	Budget Budget `json:"budget,omitempty"`
+}
+
+// Response is the JSON body of a successful query.
+type Response struct {
+	Op         Op     `json:"op"`
+	Embeddings int64  `json:"embeddings"`
+	GraphKey   string `json:"graph_key"`
+	Schedule   string `json:"schedule"`
+
+	// Software-miner statistics (mine).
+	Tasks         int64   `json:"tasks,omitempty"`
+	SetOpElements int64   `json:"setop_elements,omitempty"`
+	LinesPerTask  float64 `json:"lines_per_task,omitempty"`
+
+	// Simulation statistics (simulate).
+	Cycles    int64   `json:"cycles,omitempty"`
+	SimTasks  int64   `json:"sim_tasks,omitempty"`
+	IUUtil    float64 `json:"iu_util,omitempty"`
+	L1HitRate float64 `json:"l1_hit_rate,omitempty"`
+	Events    int64   `json:"events,omitempty"`
+	Splits    int64   `json:"splits,omitempty"`
+	Merges    int64   `json:"merges,omitempty"`
+
+	QueueMS   float64 `json:"queue_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// Kind is the machine-readable error class; see DESIGN.md "Serving &
+	// overload behavior" for the full status table.
+	Kind string `json:"kind"`
+	// RetryAfterS mirrors the Retry-After header on 429/503.
+	RetryAfterS int64 `json:"retry_after_s,omitempty"`
+}
+
+// StatusClientClosed is nginx's non-standard 499 "client closed
+// request", used when the requester went away mid-query.
+const StatusClientClosed = 499
+
+// classify maps an error to its HTTP status and machine-readable kind.
+// Each typed failure gets a distinct status: overload is 429, drain
+// 503, client-gone 499, wall budget 408, simulated budgets 422, bad
+// input 400, unknown names 404, contained panics and deadlocks 500.
+func classify(err error) (status int, kind string) {
+	var inv *sim.InvariantError
+	var dead *sim.DeadlockError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, sim.ErrWallBudget):
+		return http.StatusRequestTimeout, "wall_budget"
+	case errors.Is(err, sim.ErrEventBudget):
+		return http.StatusUnprocessableEntity, "event_budget"
+	case errors.Is(err, sim.ErrDeadline):
+		return http.StatusUnprocessableEntity, "sim_deadline"
+	case errors.Is(err, sim.ErrNoProgress):
+		return http.StatusInternalServerError, "no_progress"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, "wall_budget"
+	case errors.Is(err, sim.ErrCancelled), errors.Is(err, context.Canceled):
+		return StatusClientClosed, "cancelled"
+	case errors.As(err, &inv):
+		return http.StatusInternalServerError, "invariant"
+	case errors.As(err, &dead):
+		return http.StatusInternalServerError, "deadlock"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// Sentinels for input failures so classify stays errors.Is-based.
+var (
+	errBadRequest = errors.New("bad request")
+	errNotFound   = errors.New("not found")
+)
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+func notFoundf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errNotFound}, args...)...)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.adm.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// Stats is the /statz document.
+type Stats struct {
+	Admission AdmissionStats        `json:"admission"`
+	Graphs    CacheStats            `json:"graph_cache"`
+	Schedules CacheStats            `json:"schedule_cache"`
+	Served    int64                 `json:"served"`
+	Panics    int64                 `json:"contained_panics"`
+	Status    map[string]int64      `json:"status"`
+	LatencyUS telemetry.HistSummary `json:"latency_us"`      // 2xx
+	ShedUS    telemetry.HistSummary `json:"shed_latency_us"` // 429
+	QueueUS   telemetry.HistSummary `json:"queue_wait_us"`
+}
+
+// StatsSnapshot returns the daemon's live counters (also served at
+// /statz).
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		Admission: s.adm.Stats(),
+		Graphs:    s.graphs.Stats(),
+		Schedules: s.scheds.Stats(),
+		Served:    s.served.Load(),
+		Panics:    s.panicked.Load(),
+		Status: map[string]int64{
+			"2xx": s.statusCnts[0].Load(),
+			"4xx": s.statusCnts[1].Load(),
+			"5xx": s.statusCnts[2].Load(),
+			"429": s.statusCnts[3].Load(),
+			"499": s.statusCnts[4].Load(),
+			"422": s.statusCnts[5].Load(),
+		},
+		LatencyUS: s.latAccept.Summary(),
+		ShedUS:    s.latShed.Summary(),
+		QueueUS:   s.queueWait.Summary(),
+	}
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.StatsSnapshot()) //nolint:errcheck // client-side failure
+}
+
+func (s *Server) countStatus(status int) {
+	switch {
+	case status == http.StatusTooManyRequests:
+		s.statusCnts[3].Add(1)
+	case status == StatusClientClosed:
+		s.statusCnts[4].Add(1)
+	case status == http.StatusUnprocessableEntity:
+		s.statusCnts[5].Add(1)
+	case status >= 500:
+		s.statusCnts[2].Add(1)
+	case status >= 400:
+		s.statusCnts[1].Add(1)
+	default:
+		s.statusCnts[0].Add(1)
+	}
+	s.served.Add(1)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, op Op, err error) {
+	status, kind := classify(err)
+	body := ErrorBody{Error: err.Error(), Kind: kind}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		ra := s.adm.RetryAfter()
+		body.RetryAfterS = int64(ra / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", body.RetryAfterS))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body) //nolint:errcheck // client-side failure
+	s.countStatus(status)
+	s.logf("%s %d %s: %v", op, status, kind, err)
+}
+
+// handleQuery builds the handler for one query kind. The sequence is:
+// parse (bounded body) → admit (bounded pool + queue, shed on overflow)
+// → resolve graph/schedule through the shared cache → run under the
+// per-request governor → respond. A panic anywhere below the barrier
+// degrades to a 500 for this request only.
+func (s *Server) handleQuery(op Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		arrived := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.panicked.Add(1)
+				err := fmt.Errorf("contained panic: %v", p)
+				s.logf("panic serving %s: %v\n%s", op, p, debug.Stack())
+				s.writeError(w, op, &sim.InvariantError{
+					Op: "serve: " + string(op), PanicValue: err, Stack: string(debug.Stack()),
+				})
+			}
+		}()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, op, badRequestf("use POST (got %s)", r.Method))
+			return
+		}
+		req, err := s.parseRequest(w, r)
+		if err != nil {
+			s.writeError(w, op, err)
+			return
+		}
+		if err := s.adm.Acquire(r.Context()); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w while queued (%v)", sim.ErrCancelled, err)
+			}
+			s.observeLatency(classifyStatus(err), arrived)
+			s.writeError(w, op, err)
+			return
+		}
+		admitted := time.Now()
+		s.queueWait.Observe(admitted.Sub(arrived).Microseconds())
+		defer func() { s.adm.Release(time.Since(admitted)) }()
+
+		resp, err := s.execute(r.Context(), op, req)
+		if err != nil {
+			s.observeLatency(classifyStatus(err), arrived)
+			s.writeError(w, op, err)
+			return
+		}
+		resp.QueueMS = float64(admitted.Sub(arrived)) / float64(time.Millisecond)
+		resp.ElapsedMS = float64(time.Since(admitted)) / float64(time.Millisecond)
+		s.latAccept.Observe(time.Since(arrived).Microseconds())
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client-side failure
+		s.countStatus(http.StatusOK)
+		s.logf("%s 200 %s/%s emb=%d queue=%.1fms run=%.1fms",
+			op, resp.GraphKey, resp.Schedule, resp.Embeddings, resp.QueueMS, resp.ElapsedMS)
+	}
+}
+
+func classifyStatus(err error) int {
+	st, _ := classify(err)
+	return st
+}
+
+func (s *Server) observeLatency(status int, arrived time.Time) {
+	if status == http.StatusTooManyRequests {
+		s.latShed.Observe(time.Since(arrived).Microseconds())
+	}
+}
+
+// parseRequest decodes the bounded JSON body.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*Request, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, badRequestf("body exceeds %d byte limit", tooBig.Limit)
+		}
+		return nil, badRequestf("malformed JSON body: %v", err)
+	}
+	if (req.Dataset == "") == (req.Graph == "") {
+		return nil, badRequestf("exactly one of \"dataset\" or \"graph\" is required")
+	}
+	if (req.Pattern == "") == (req.PatternEdges == "") {
+		return nil, badRequestf("exactly one of \"pattern\" or \"pattern_edges\" is required")
+	}
+	if req.Budget.MaxEvents < 0 || req.Budget.DeadlineCycles < 0 || req.Budget.MaxWallMS < 0 {
+		return nil, badRequestf("budget values must be non-negative")
+	}
+	return &req, nil
+}
+
+// resolveGraph returns the request's graph through the shared cache.
+func (s *Server) resolveGraph(req *Request) (cachedGraph, error) {
+	if req.Dataset != "" {
+		key := "dataset/" + req.Dataset
+		return s.graphs.Get(key, func() (cachedGraph, int64, error) {
+			g, err := datasets.Get(req.Dataset)
+			if err != nil {
+				return cachedGraph{}, 0, notFoundf("%v", err)
+			}
+			return cachedGraph{g, key}, graphBytes(g), nil
+		})
+	}
+	sum := sha256.Sum256([]byte(req.Graph))
+	key := "upload/" + hex.EncodeToString(sum[:8])
+	return s.graphs.Get(key, func() (cachedGraph, int64, error) {
+		g, err := graph.ReadEdgeList(strings.NewReader(req.Graph))
+		if err != nil {
+			return cachedGraph{}, 0, badRequestf("graph upload: %v", err)
+		}
+		return cachedGraph{g, key}, graphBytes(g), nil
+	})
+}
+
+// graphBytes estimates a CSR graph's resident size (offsets are int64,
+// neighbors int32 stored in both directions) plus a fixed overhead for
+// the lazily built hub index that rides on cached graphs.
+func graphBytes(g *graph.Graph) int64 {
+	const structOverhead = 512
+	return int64(g.NumVertices()+1)*8 + g.NumEdges()*2*4 + structOverhead
+}
+
+// resolveSchedule returns the request's schedule through the shared
+// cache. Named patterns honor the _v suffix convention; custom edge
+// lists use the explicit induced flag.
+func (s *Server) resolveSchedule(req *Request) (*pattern.Schedule, error) {
+	var key string
+	build := func() (pattern.Pattern, bool, error) {
+		if req.Pattern != "" {
+			p, err := pattern.ByName(req.Pattern)
+			if err != nil {
+				return pattern.Pattern{}, false, notFoundf("%v", err)
+			}
+			return p, req.Induced || strings.HasSuffix(req.Pattern, "_v"), nil
+		}
+		p, err := pattern.Parse("custom", req.PatternEdges)
+		if err != nil {
+			return pattern.Pattern{}, false, badRequestf("pattern_edges: %v", err)
+		}
+		return p, req.Induced, nil
+	}
+	if req.Pattern != "" {
+		key = fmt.Sprintf("named/%s/induced=%t", req.Pattern, req.Induced)
+	} else {
+		key = fmt.Sprintf("custom/%s/induced=%t", req.PatternEdges, req.Induced)
+	}
+	return s.scheds.Get(key, func() (*pattern.Schedule, int64, error) {
+		p, induced, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		sched, err := pattern.BuildWith(p, pattern.BuildOptions{Induced: induced})
+		if err != nil {
+			return nil, 0, badRequestf("schedule: %v", err)
+		}
+		const scheduleBytes = 4096 // schedules are small and flat
+		return sched, scheduleBytes, nil
+	})
+}
+
+// wallBudget resolves a request's effective wall-clock budget.
+func (s *Server) wallBudget(b Budget) time.Duration {
+	wall := s.cfg.DefaultWall
+	if b.MaxWallMS > 0 {
+		wall = time.Duration(b.MaxWallMS) * time.Millisecond
+	}
+	if wall > s.cfg.MaxWall {
+		wall = s.cfg.MaxWall
+	}
+	return wall
+}
+
+// execute resolves inputs and runs one admitted query under its budget.
+func (s *Server) execute(reqCtx context.Context, op Op, req *Request) (*Response, error) {
+	cg, err := s.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := s.resolveSchedule(req)
+	if err != nil {
+		return nil, err
+	}
+	// The work context merges: the client connection (gone client stops
+	// the query), the drain hard-cancel (a blown drain deadline stops
+	// it), and the wall budget.
+	ctx, cancel := context.WithTimeout(reqCtx, s.wallBudget(req.Budget))
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	resp := &Response{Op: op, GraphKey: cg.key, Schedule: sched.Name}
+	switch op {
+	case OpCount, OpMine:
+		res, err := mine.ParallelCountContext(ctx, cg.g, sched, s.cfg.MinerWorkers)
+		if err != nil {
+			return nil, s.refineCancel(ctx, reqCtx, err)
+		}
+		resp.Embeddings = res.Embeddings
+		if op == OpMine {
+			resp.Tasks = res.Tasks()
+			resp.SetOpElements = res.SetOpElements
+			resp.LinesPerTask = res.AvgIntermediateLinesPerTask()
+		}
+	case OpSimulate:
+		res, err := s.simulate(ctx, req, cg.g, sched)
+		if err != nil {
+			return nil, s.refineCancel(ctx, reqCtx, err)
+		}
+		resp.Embeddings = res.Embeddings
+		resp.Cycles = int64(res.Cycles)
+		resp.SimTasks = res.Tasks + res.LeafTasks
+		resp.IUUtil = res.IUUtil
+		resp.L1HitRate = res.L1HitRate
+		resp.Events = res.Events
+		resp.Splits = res.Splits
+		resp.Merges = res.Merges
+	default:
+		return nil, badRequestf("unknown op %q", op)
+	}
+	return resp, nil
+}
+
+// refineCancel sharpens a generic cancellation into its true cause: a
+// tripped wall budget (deadline on the work context) or the drain
+// hard-cancel, which would otherwise both surface as ErrCancelled.
+func (s *Server) refineCancel(workCtx, reqCtx context.Context, err error) error {
+	if !errors.Is(err, sim.ErrCancelled) && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	switch {
+	case errors.Is(workCtx.Err(), context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", sim.ErrWallBudget, err)
+	case s.hardCtx.Err() != nil && reqCtx.Err() == nil:
+		return fmt.Errorf("%w: cancelled by drain (%v)", ErrDraining, err)
+	default:
+		return err
+	}
+}
+
+// simulate runs the accelerator under the request's clamped budgets.
+func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sched *pattern.Schedule) (*accel.Result, error) {
+	scheme := accel.Scheme(req.Scheme)
+	if req.Scheme == "" {
+		scheme = accel.SchemeShogun
+	}
+	cfg := accel.DefaultConfig(scheme)
+	if req.PEs > 0 {
+		cfg.NumPEs = req.PEs
+	}
+	if req.Width > 0 {
+		cfg.PE.Width = req.Width
+		cfg.TokensPerDepth = req.Width
+		cfg.Tree.EntriesPerBunch = req.Width
+	}
+	cfg.EnableSplitting = req.Split
+	cfg.EnableMerging = req.Merge
+	cfg.MaxEvents = clampBudget(req.Budget.MaxEvents, s.cfg.MaxEvents)
+	if req.Budget.DeadlineCycles > 0 {
+		cfg.Deadline = sim.Time(req.Budget.DeadlineCycles)
+	}
+	a, err := accel.New(g, sched, cfg)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	if s.cfg.OnAccel != nil {
+		s.cfg.OnAccel(a)
+	}
+	return a.RunContext(ctx)
+}
+
+// clampBudget applies "may tighten, may not exceed": zero means take
+// the ceiling, nonzero is capped by it.
+func clampBudget(requested, ceiling int64) int64 {
+	switch {
+	case ceiling <= 0:
+		return requested
+	case requested <= 0 || requested > ceiling:
+		return ceiling
+	default:
+		return requested
+	}
+}

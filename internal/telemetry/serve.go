@@ -9,14 +9,46 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 )
+
+// The shared HTTP-server timeouts. Every listener in this repository —
+// the inspection server here and the shogund daemon — goes through
+// HardenedHTTPServer, so a slow or stalled client can never pin a
+// connection (and its goroutine) forever.
+const (
+	// HTTPReadHeaderTimeout bounds slowloris-style dribbled headers.
+	HTTPReadHeaderTimeout = 5 * time.Second
+	// HTTPReadTimeout bounds reading one full request (headers + body).
+	HTTPReadTimeout = 30 * time.Second
+	// HTTPWriteTimeout bounds writing one response. It is deliberately
+	// generous: /debug/pprof/profile streams for 30s by default and
+	// simulation queries can legitimately run tens of seconds.
+	HTTPWriteTimeout = 2 * time.Minute
+	// HTTPIdleTimeout reaps idle keep-alive connections.
+	HTTPIdleTimeout = 2 * time.Minute
+)
+
+// HardenedHTTPServer returns an http.Server for h with the standard
+// timeouts above. Both the telemetry inspection server and the shogund
+// daemon construct their servers here.
+func HardenedHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: HTTPReadHeaderTimeout,
+		ReadTimeout:       HTTPReadTimeout,
+		WriteTimeout:      HTTPWriteTimeout,
+		IdleTimeout:       HTTPIdleTimeout,
+	}
+}
 
 // Server is the opt-in live inspection endpoint (-http flag): a stdlib
 // net/http server exposing JSON telemetry snapshots, plain-text progress
 // pages, expvar (/debug/vars) and pprof (/debug/pprof/). It binds
 // eagerly — NewServer fails fast on a malformed or unusable address
 // instead of panicking mid-run — and ":0" picks a free port, reported by
-// Addr.
+// Addr. The underlying http.Server comes from HardenedHTTPServer, so a
+// slow client cannot hold a connection open indefinitely.
 type Server struct {
 	ln  net.Listener
 	mux *http.ServeMux
@@ -49,7 +81,7 @@ func NewServer(addr string) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	s := &Server{ln: ln, mux: mux, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, mux: mux, srv: HardenedHTTPServer(mux)}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

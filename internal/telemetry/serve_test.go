@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateAddr(t *testing.T) {
@@ -24,6 +25,42 @@ func TestValidateAddr(t *testing.T) {
 func TestNewServerRejectsBadAddr(t *testing.T) {
 	if _, err := NewServer("not-an-addr"); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// TestHardenedServerTimeouts pins the hardening: every timeout knob on
+// the shared constructor is set, so neither the inspection server nor
+// shogund can have a connection pinned open by a slow client. A zero
+// value here silently reverts to "wait forever" — hence the explicit
+// assertions.
+func TestHardenedServerTimeouts(t *testing.T) {
+	srv := HardenedHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris headers pin a connection forever")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: a dribbling request body pins a connection forever")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset: an unread response pins a connection forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections accumulate forever")
+	}
+	// pprof's 30s CPU profile must survive the write timeout.
+	if srv.WriteTimeout < 31*time.Second {
+		t.Errorf("WriteTimeout %v would cut off 30s pprof profile streams", srv.WriteTimeout)
+	}
+
+	// NewServer must use the hardened constructor, not a bare &http.Server.
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.srv.ReadHeaderTimeout <= 0 || s.srv.ReadTimeout <= 0 ||
+		s.srv.WriteTimeout <= 0 || s.srv.IdleTimeout <= 0 {
+		t.Fatalf("NewServer's http.Server is not hardened: %+v", s.srv)
 	}
 }
 
