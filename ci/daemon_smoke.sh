@@ -2,8 +2,11 @@
 # Daemon smoke test: boots shogund on a random port, waits for
 # readiness, issues one good query (verifying the embedding count
 # against the software miner's golden value), one over-budget query
-# (expecting the typed 422 event-budget error), then sends SIGTERM and
-# requires a clean exit (status 0) within the drain deadline.
+# (expecting the typed 422 event-budget error), checks the request
+# observability plane (trace header on responses, /metrics Prometheus
+# exposition with nonzero request counters, /v1/requests inspection,
+# access log flushed by the drain), then sends SIGTERM and requires a
+# clean exit (status 0) within the drain deadline.
 #
 # Usage: ci/daemon_smoke.sh
 #
@@ -25,7 +28,7 @@ echo "daemon_smoke: building" >&2
 (cd "$root" && go build -o "$work/shogund" ./cmd/shogund)
 
 "$work/shogund" -addr 127.0.0.1:0 -workers 2 -drain "${deadline}s" \
-    -addr-file "$work/addr" >"$work/log" 2>&1 &
+    -addr-file "$work/addr" -access-log "$work/access.log" >"$work/log" 2>&1 &
 daemon_pid=$!
 
 # Wait for the address file, then for readiness.
@@ -46,8 +49,15 @@ done
 [ "$ready" = 1 ] || { cat "$work/log" >&2; echo "daemon_smoke: /readyz never came up" >&2; exit 1; }
 
 # Golden count for wi/tc straight from the software miner (shogun CLI).
+# The response must carry a trace ID and the per-phase attribution.
 echo "daemon_smoke: count query" >&2
-body=$(curl -fsS "http://$addr/v1/count" -d '{"dataset":"wi","pattern":"tc"}')
+curl -fsS -D "$work/hdrs" -o "$work/body.json" "http://$addr/v1/count" \
+    -H 'X-Shogun-Trace: smoke-trace-1' -d '{"dataset":"wi","pattern":"tc"}'
+body=$(cat "$work/body.json")
+grep -qi '^x-shogun-trace: smoke-trace-1' "$work/hdrs" || {
+    echo "daemon_smoke: trace header not echoed" >&2; exit 1; }
+jq -e '.trace == "smoke-trace-1" and (.phases_us.run >= 0)' "$work/body.json" >/dev/null || {
+    echo "daemon_smoke: response missing trace/phases_us: $body" >&2; exit 1; }
 emb=$(echo "$body" | jq -r .embeddings)
 case "$emb" in
     ''|null|0) echo "daemon_smoke: bad count response: $body" >&2; exit 1 ;;
@@ -67,6 +77,33 @@ if [ "$status" != 422 ] || [ "$kind" != event_budget ]; then
     exit 1
 fi
 echo "daemon_smoke: over-budget -> 422 event_budget" >&2
+
+# /metrics: the exposition must be structurally valid Prometheus text
+# (every line a HELP/TYPE comment or a `name[{labels}] value` sample) and
+# the request counters must reflect the queries above.
+echo "daemon_smoke: scraping /metrics" >&2
+curl -fsS "http://$addr/metrics" >"$work/metrics"
+bad=$(grep -cvE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+|[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*le="\+Inf"[^}]*\} [0-9]+)$' "$work/metrics" || true)
+if [ "$bad" != 0 ]; then
+    grep -vE '^(# (HELP|TYPE) |[a-zA-Z_:])' "$work/metrics" | head >&2
+    echo "daemon_smoke: /metrics has $bad malformed exposition lines" >&2
+    exit 1
+fi
+ok_count=$(awk '/^shogun_requests_total\{op="count",outcome="ok"\}/ {print $2}' "$work/metrics")
+[ -n "$ok_count" ] && [ "$ok_count" -ge 2 ] || {
+    echo "daemon_smoke: shogun_requests_total count/ok = '$ok_count', want >= 2" >&2; exit 1; }
+budget_count=$(awk '/^shogun_requests_total\{op="simulate",outcome="budget"\}/ {print $2}' "$work/metrics")
+[ -n "$budget_count" ] && [ "$budget_count" -ge 1 ] || {
+    echo "daemon_smoke: shogun_requests_total simulate/budget = '$budget_count', want >= 1" >&2; exit 1; }
+grep -q '^shogun_request_duration_seconds_bucket' "$work/metrics" || {
+    echo "daemon_smoke: latency histogram missing from /metrics" >&2; exit 1; }
+echo "daemon_smoke: /metrics valid (count/ok=$ok_count simulate/budget=$budget_count)" >&2
+
+# /v1/requests: the recent ring holds the traced request.
+curl -fsS "http://$addr/v1/requests" | jq -e \
+    '.recent | map(select(.trace == "smoke-trace-1")) | length >= 1' >/dev/null || {
+    echo "daemon_smoke: traced request missing from /v1/requests recent ring" >&2; exit 1; }
+echo "daemon_smoke: /v1/requests lists the traced request" >&2
 
 # SIGTERM: the daemon must drain and exit 0 within the deadline.
 echo "daemon_smoke: SIGTERM, waiting up to ${deadline}s" >&2
@@ -95,4 +132,14 @@ grep -q "drained clean" "$work/log" || {
     echo "daemon_smoke: no 'drained clean' line in the log" >&2
     exit 1
 }
-echo "daemon_smoke: PASS (clean drain, exit 0)" >&2
+
+# The drain must have flushed the buffered access log: every request
+# above appears as a JSON line with its trace and outcome.
+[ -s "$work/access.log" ] || { echo "daemon_smoke: access log empty after drain" >&2; exit 1; }
+jq -es 'map(select(.trace == "smoke-trace-1" and .outcome == "ok")) | length == 1' \
+    "$work/access.log" >/dev/null || {
+    cat "$work/access.log" >&2
+    echo "daemon_smoke: traced request missing from flushed access log" >&2
+    exit 1
+}
+echo "daemon_smoke: PASS (clean drain, exit 0, access log flushed)" >&2

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Saturation snapshot: boots shogund, runs the shogunload open-loop QPS
 # sweep against it, and writes one BENCH_<id>.json point (schema
-# shogun-saturation-v1) recording p50/p99 accepted latency, shed rate
-# and typed-error counts per offered-load level. The companion of
-# ci/bench_snapshot.sh for the serving dimension.
+# shogun-saturation-v1) recording p50/p99 accepted latency, shed rate,
+# typed-error counts and — with the daemon's request observability on,
+# the default — the server-side per-phase attribution
+# (parse/queue/graph/schedule/run/encode) per offered-load level, so the
+# snapshot shows queue-wait, not run time, absorbing latency past the
+# knee. The companion of ci/bench_snapshot.sh for the serving dimension.
 #
 # Usage: ci/saturation_snapshot.sh <id> [outfile]
 #   id       trajectory point id, e.g. 0007 -> BENCH_0007.json
@@ -68,6 +71,16 @@ esac
 "$work/shogunload" -addr "$addr" -op count -dataset "$dataset" -pattern "$pat" \
     -qps "$qps" -duration "$duration" "${expect_flag[@]}" \
     -snapshot-out "$out" -snapshot-id "$id" -commit "$commit"
+
+# Per-phase attribution must have made it into the snapshot (the daemon
+# serves with observability on by default), and the knee story should be
+# legible from it: print avg queue vs run per level.
+jq -e '.saturation.levels | length > 0 and all(.server_phases_us != null)' "$out" >/dev/null \
+    || { echo "saturation_snapshot: levels missing server_phases_us attribution" >&2; exit 1; }
+echo "saturation_snapshot: phase attribution (avg us)" >&2
+jq -r '.saturation.levels[] |
+    "  qps=\(.qps) queue=\(.server_phases_us.queue.avg|floor) run=\(.server_phases_us.run.avg|floor) graph=\(.server_phases_us.graph.avg|floor) encode=\(.server_phases_us.encode.avg|floor)"' \
+    "$out" >&2
 
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "saturation_snapshot: daemon exited dirty" >&2; exit 1; }

@@ -13,13 +13,17 @@
 //	curl -s localhost:8477/readyz
 //
 // Endpoints: POST /v1/count, /v1/mine, /v1/simulate; GET /healthz,
-// /readyz, /statz. See DESIGN.md "Serving & overload behavior" for the
-// request schema and the typed-error status table.
+// /readyz, /statz, /metrics (Prometheus text), /v1/requests and
+// /v1/requests/{id} (live in-flight inspection; ?format=chrome exports a
+// per-request Chrome trace). See DESIGN.md "Serving & overload behavior"
+// and "Request observability" for the request schema, the typed-error
+// status table and the tracing plane.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,26 +46,67 @@ func main() {
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (smoke tests)")
 		verbose   = flag.Bool("v", false, "log one line per served request")
+
+		noObs       = flag.Bool("no-obs", false, "disable the request observability plane (/metrics, /v1/requests, tracing)")
+		accessLog   = flag.String("access-log", "", "structured JSON access log path (\"-\" = stderr)")
+		slowLog     = flag.String("slow-log", "", "slow-request log path with phase breakdown + governor snapshot (\"-\" = stderr)")
+		slowMS      = flag.Int64("slow-ms", 1000, "slow-request threshold in milliseconds")
+		sampleEvery = flag.Int64("sample-every", 4096, "epoch-sampler period in cycles for served simulations (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cacheMB, *bodyMB, *maxWall, *defWall, *maxEvents, *miners, *drain, *addrFile, *verbose); err != nil {
+	opts := daemonOpts{
+		cacheMB: *cacheMB, drain: *drain, addrFile: *addrFile, verbose: *verbose,
+		noObs: *noObs, accessLog: *accessLog, slowLog: *slowLog,
+		slowMS: *slowMS, sampleEvery: *sampleEvery,
+	}
+	cfg := serve.Config{
+		Addr:         *addr,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheBytes:   *cacheMB << 20,
+		MaxBodyBytes: *bodyMB << 20,
+		MaxWall:      *maxWall,
+		DefaultWall:  *defWall,
+		MaxEvents:    *maxEvents,
+		MinerWorkers: *miners,
+	}
+	if err := run(cfg, *queue, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "shogund:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, cacheMB, bodyMB int64, maxWall, defWall time.Duration, maxEvents int64, miners int, drain time.Duration, addrFile string, verbose bool) error {
-	cfg := serve.Config{
-		Addr:         addr,
-		Workers:      workers,
-		QueueDepth:   queue,
-		CacheBytes:   cacheMB << 20,
-		MaxBodyBytes: bodyMB << 20,
-		MaxWall:      maxWall,
-		DefaultWall:  defWall,
-		MaxEvents:    maxEvents,
-		MinerWorkers: miners,
+// daemonOpts carries the main-level knobs that are not serve.Config
+// fields.
+type daemonOpts struct {
+	cacheMB     int64
+	drain       time.Duration
+	addrFile    string
+	verbose     bool
+	noObs       bool
+	accessLog   string
+	slowLog     string
+	slowMS      int64
+	sampleEvery int64
+}
+
+// openLog resolves a log-path flag: "" → nil, "-" → stderr, otherwise an
+// append-opened file whose closer is returned.
+func openLog(path string) (io.Writer, func() error, error) {
+	switch path {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return os.Stderr, nil, nil
 	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func run(cfg serve.Config, queue int, opts daemonOpts) error {
 	switch {
 	case queue == -1:
 		cfg.QueueDepth = 0 // fill() turns 0 into the 2×workers default
@@ -70,18 +115,56 @@ func run(addr string, workers, queue int, cacheMB, bodyMB int64, maxWall, defWal
 	default:
 		cfg.QueueDepth = queue
 	}
-	if verbose {
+	if opts.verbose {
 		cfg.Log = os.Stderr
+	}
+	// The log files must outlive the drain: the plane's buffered writers
+	// are flushed by Drain/Close before these closers run.
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			c() //nolint:errcheck // exit path
+		}
+	}()
+	if !opts.noObs {
+		oc := &serve.ObsConfig{
+			SlowThreshold: time.Duration(opts.slowMS) * time.Millisecond,
+			SampleEvery:   int(opts.sampleEvery),
+		}
+		if oc.SampleEvery == 0 {
+			oc.SampleEvery = -1 // flag 0 means off; ObsConfig 0 means default
+		}
+		w, closeFn, err := openLog(opts.accessLog)
+		if err != nil {
+			return fmt.Errorf("access-log: %w", err)
+		}
+		oc.AccessLog = w
+		if closeFn != nil {
+			closers = append(closers, closeFn)
+		}
+		w, closeFn, err = openLog(opts.slowLog)
+		if err != nil {
+			return fmt.Errorf("slow-log: %w", err)
+		}
+		oc.SlowLog = w
+		if closeFn != nil {
+			closers = append(closers, closeFn)
+		}
+		cfg.Obs = oc
 	}
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	st := s.StatsSnapshot()
-	fmt.Printf("shogund: serving on http://%s/ (workers=%d queue=%d cache=%dMiB drain=%v)\n",
-		s.Addr(), st.Admission.Workers, st.Admission.QueueDepth, cacheMB, drain)
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+	obsState := "on"
+	if opts.noObs {
+		obsState = "off"
+	}
+	fmt.Printf("shogund: serving on http://%s/ (workers=%d queue=%d cache=%dMiB drain=%v obs=%s)\n",
+		s.Addr(), st.Admission.Workers, st.Admission.QueueDepth, opts.cacheMB, opts.drain, obsState)
+	if opts.addrFile != "" {
+		if err := os.WriteFile(opts.addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
 			s.Close()
 			return fmt.Errorf("addr-file: %w", err)
 		}
@@ -98,9 +181,9 @@ func run(addr string, workers, queue int, cacheMB, bodyMB int64, maxWall, defWal
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Printf("shogund: %v: draining (deadline %v)\n", sig, drain)
+		fmt.Printf("shogund: %v: draining (deadline %v)\n", sig, opts.drain)
 		drained := make(chan error, 1)
-		go func() { drained <- s.Drain(drain) }()
+		go func() { drained <- s.Drain(opts.drain) }()
 		select {
 		case err := <-drained:
 			if err != nil {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenLog(t *testing.T) {
+	w, closeFn, err := openLog("")
+	if w != nil || closeFn != nil || err != nil {
+		t.Fatalf("empty path: (%v, hasCloser=%v, %v), want all nil", w, closeFn != nil, err)
+	}
+
+	w, closeFn, err = openLog("-")
+	if err != nil || w != os.Stderr || closeFn != nil {
+		t.Fatalf("dash path: w=%v hasCloser=%v err=%v, want stderr and no closer", w, closeFn != nil, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "access.jsonl")
+	w, closeFn, err = openLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("line1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-opening appends rather than truncating: a daemon restart must
+	// not erase the previous run's access log.
+	w, closeFn, err = openLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("line2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "line1\nline2\n" {
+		t.Fatalf("log content %q, want both runs' lines", got)
+	}
+
+	if _, _, err := openLog(filepath.Join(t.TempDir(), "missing", "dir", "x.log")); err == nil {
+		t.Fatal("unopenable path did not error")
+	}
+}

@@ -2,7 +2,12 @@
 // offers fixed arrival rates (QPS) of identical queries for a fixed
 // duration per level and reports client-observed p50/p99 latency, shed
 // rate and typed-error counts per level — the saturation experiment
-// behind BENCH_0007.json.
+// behind BENCH_0007.json. When the daemon runs with request
+// observability on (the default), each level also aggregates the
+// server-side per-phase attribution (parse/queue/graph/schedule/run/
+// encode) that accepted responses carry, making the knee legible:
+// past saturation the added latency sits in queue, not run
+// (BENCH_0008.json).
 //
 // Usage:
 //
@@ -108,6 +113,9 @@ func run(addr, op, dataset, patName, scheme, qpsList string, duration time.Durat
 		if rep != nil {
 			doc.Levels = append(doc.Levels, rep)
 			fmt.Println(" ", rep)
+			if line := phaseLine(rep); line != "" {
+				fmt.Println("   ", line)
+			}
 			if expect >= 0 {
 				for emb, n := range rep.Embeddings {
 					if emb != expect {
@@ -142,6 +150,30 @@ func run(addr, op, dataset, patName, scheme, qpsList string, duration time.Durat
 		fmt.Println("shogunload: wrote", snapOut)
 	}
 	return nil
+}
+
+// phaseLine renders the server-side phase attribution of a level, when
+// the daemon reported it: average time per phase plus queue-wait p99.
+// Past the saturation knee this is where the latency goes — queue grows,
+// run stays flat.
+func phaseLine(rep *serve.LoadReport) string {
+	ph := rep.ServerPhasesUS
+	if len(ph) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("server phases(avg ms):")
+	for _, name := range []string{"parse", "queue", "graph", "schedule", "run", "encode"} {
+		s, ok := ph[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%.2f", name, s.Avg/1000)
+	}
+	if q, ok := ph["queue"]; ok {
+		fmt.Fprintf(&b, " queue-p99=%.1fms", float64(q.P99)/1000)
+	}
+	return b.String()
 }
 
 func parseQPS(list string) ([]float64, error) {

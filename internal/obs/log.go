@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// lineLog is a buffered, mutex-guarded JSON-lines writer. Lines are
+// buffered for throughput and flushed either when FlushEvery has passed
+// since the last flush or explicitly via flush() — the daemon's
+// graceful drain calls the latter so the final requests of a SIGTERM
+// drain always reach the log.
+type lineLog struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	every     time.Duration
+	lastFlush time.Time
+	err       error
+	buf       []byte // reused line buffer
+}
+
+func newLineLog(w io.Writer, every time.Duration) *lineLog {
+	return &lineLog{
+		w:         bufio.NewWriterSize(w, 32<<10),
+		every:     every,
+		lastFlush: time.Now(),
+		buf:       make([]byte, 0, 512),
+	}
+}
+
+// flush drains the buffer. Nil-safe (planes without a log pass nil).
+func (l *lineLog) flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	l.lastFlush = time.Now()
+	return l.err
+}
+
+// log appends one request line. detailed selects the slow-log shape
+// (adds the error message and the diagnostic snapshot).
+func (l *lineLog) log(v *SpanView, snapshot string, detailed bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	b := l.buf[:0]
+	b = append(b, `{"ts":"`...)
+	b = time.Now().UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","trace":`...)
+	b = appendJSONString(b, v.Trace)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendUint(b, v.ID, 10)
+	b = append(b, `,"op":`...)
+	b = appendJSONString(b, v.Op)
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(v.Status), 10)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, v.Kind)
+	b = append(b, `,"outcome":`...)
+	b = appendJSONString(b, v.Outcome)
+	if v.GraphKey != "" {
+		b = append(b, `,"graph_key":`...)
+		b = appendJSONString(b, v.GraphKey)
+	}
+	if v.Schedule != "" {
+		b = append(b, `,"schedule":`...)
+		b = appendJSONString(b, v.Schedule)
+	}
+	if v.BudgetWallMS > 0 {
+		b = append(b, `,"budget_wall_ms":`...)
+		b = strconv.AppendInt(b, v.BudgetWallMS, 10)
+	}
+	if v.BudgetEvents > 0 {
+		b = append(b, `,"budget_events":`...)
+		b = strconv.AppendInt(b, v.BudgetEvents, 10)
+	}
+	b = append(b, `,"wall_us":`...)
+	b = strconv.AppendInt(b, v.WallNS/1e3, 10)
+	ph := v.PhasesNS
+	for i, d := range [NumPhases]int64{ph.Parse, ph.Queue, ph.Graph, ph.Schedule, ph.Run, ph.Encode} {
+		b = append(b, `,"`...)
+		b = append(b, phaseNames[i]...)
+		b = append(b, `_us":`...)
+		b = strconv.AppendInt(b, d/1e3, 10)
+	}
+	if detailed {
+		if v.Error != "" {
+			b = append(b, `,"error":`...)
+			b = appendJSONString(b, v.Error)
+		}
+		if snapshot != "" {
+			b = append(b, `,"snapshot":`...)
+			b = appendJSONString(b, snapshot)
+		}
+	}
+	b = append(b, "}\n"...)
+	l.buf = b
+
+	if _, err := l.w.Write(b); err != nil && l.err == nil {
+		l.err = err
+	}
+	now := time.Now()
+	if now.Sub(l.lastFlush) >= l.every {
+		if err := l.w.Flush(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.lastFlush = now
+	}
+	l.mu.Unlock()
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes and control characters (multi-line governor snapshots pass
+// through here).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+
+	"shogun/internal/telemetry"
+)
+
+// MetricsWriter renders the Prometheus text exposition format
+// (version 0.0.4) with nothing but the standard library: families are
+// declared once with Family, then populated with Gauge/Counter/Histo
+// rows. Errors are sticky — callers write the whole page and check Err
+// once.
+type MetricsWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewMetricsWriter wraps w.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	return &MetricsWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err reports the first write error.
+func (m *MetricsWriter) Err() error { return m.err }
+
+func (m *MetricsWriter) line(b []byte) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = m.w.Write(b)
+}
+
+// Family declares a metric family: one HELP and one TYPE comment. typ is
+// "counter", "gauge" or "histogram".
+func (m *MetricsWriter) Family(name, typ, help string) {
+	b := m.buf[:0]
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	m.buf = b
+	m.line(b)
+}
+
+// row emits `name{labels} value`. labels is preformatted
+// (`op="count",outcome="ok"`) or empty.
+func (m *MetricsWriter) row(name, labels string, value float64) {
+	b := m.buf[:0]
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = appendFloat(b, value)
+	b = append(b, '\n')
+	m.buf = b
+	m.line(b)
+}
+
+// Gauge emits one gauge sample.
+func (m *MetricsWriter) Gauge(name, labels string, v float64) { m.row(name, labels, v) }
+
+// Counter emits one counter sample.
+func (m *MetricsWriter) Counter(name, labels string, v int64) { m.row(name, labels, float64(v)) }
+
+// Histo emits one telemetry.Histogram as a Prometheus histogram series:
+// cumulative `_bucket` rows at each non-empty bucket's upper edge plus
+// +Inf, then `_sum` and `_count`. scale converts the histogram's integer
+// unit to the exposition's (e.g. 1e-6 for µs → seconds). Because
+// observations are integers strictly below each bucket's upper edge, the
+// emitted cumulative counts are exact, not approximations. labels, if
+// any, are appended before the `le` label.
+func (m *MetricsWriter) Histo(name, labels string, h *telemetry.Histogram, scale float64) {
+	cum := h.Cumulative()
+	var total int64
+	for _, cb := range cum {
+		total = cb.Count
+		if cb.Upper == math.MaxInt64 {
+			continue // folded into +Inf below
+		}
+		m.bucketRow(name, labels, strconv.FormatFloat(float64(cb.Upper)*scale, 'g', -1, 64), cb.Count)
+	}
+	m.bucketRow(name, labels, "+Inf", total)
+	sum := float64(h.Sum()) * scale
+	m.row(name+"_sum", labels, sum)
+	m.row(name+"_count", labels, float64(total))
+}
+
+func (m *MetricsWriter) bucketRow(name, labels, le string, count int64) {
+	b := m.buf[:0]
+	b = append(b, name...)
+	b = append(b, "_bucket{"...)
+	if labels != "" {
+		b = append(b, labels...)
+		b = append(b, ',')
+	}
+	b = append(b, `le="`...)
+	b = append(b, le...)
+	b = append(b, `"} `...)
+	b = strconv.AppendInt(b, count, 10)
+	b = append(b, '\n')
+	m.buf = b
+	m.line(b)
+}
+
+// appendFloat renders v compactly: integers without a fraction, others
+// in shortest round-trip form.
+func appendFloat(b []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -50,14 +50,15 @@ type cacheEntry[V any] struct {
 
 // CacheStats is a point-in-time snapshot of cache behavior.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`     // includes waits on another caller's flight
-	Evictions int64 `json:"evictions"`  // entries removed to fit the budget
-	Errors    int64 `json:"errors"`     // failed builds (not cached)
-	Oversize  int64 `json:"oversize"`   // values larger than the whole budget
-	UsedBytes int64 `json:"used_bytes"` // current charged size
-	Budget    int64 `json:"budget_bytes"`
-	Entries   int   `json:"entries"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`        // includes waits on another caller's flight
+	Evictions    int64 `json:"evictions"`     // entries removed to fit the budget
+	EvictedBytes int64 `json:"evicted_bytes"` // charged size of evicted entries
+	Errors       int64 `json:"errors"`        // failed builds (not cached)
+	Oversize     int64 `json:"oversize"`      // values larger than the whole budget
+	UsedBytes    int64 `json:"used_bytes"`    // current charged size
+	Budget       int64 `json:"budget_bytes"`
+	Entries      int   `json:"entries"`
 }
 
 // NewCache returns a cache bounded by budgetBytes (<= 0 keeps nothing:
@@ -161,6 +162,7 @@ func (c *Cache[V]) evictLocked(just *cacheEntry[V]) {
 			return
 		}
 		c.stats.Evictions++
+		c.stats.EvictedBytes += victim.size
 	}
 }
 

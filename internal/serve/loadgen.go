@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shogun/internal/obs"
 	"shogun/internal/telemetry"
 )
 
@@ -57,6 +58,14 @@ type LoadReport struct {
 
 	Latency     telemetry.HistSummary `json:"latency_us"`
 	ShedLatency telemetry.HistSummary `json:"shed_latency_us"`
+
+	// ServerPhasesUS breaks accepted-request server time down by phase
+	// (parse/queue/graph/schedule/run/encode), aggregated from the
+	// phases_us attribution each 2xx response carries when the daemon
+	// runs with observability on. Empty when the daemon does not report
+	// phases. This is what lets a saturation sweep show queue-wait —
+	// not run time — absorbing the latency past the knee.
+	ServerPhasesUS map[string]telemetry.HistSummary `json:"server_phases_us,omitempty"`
 
 	// StatusCounts maps HTTP status → count (0 = transport error).
 	StatusCounts map[int]int64 `json:"status_counts"`
@@ -114,6 +123,10 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	}
 	latAcc := telemetry.NewHistogram()
 	latShed := telemetry.NewHistogram()
+	var phases phaseHists
+	for i := range phases.h {
+		phases.h[i] = telemetry.NewHistogram()
+	}
 	var mu sync.Mutex // guards the report maps
 	var inflight atomic.Int64
 	var wg sync.WaitGroup
@@ -148,7 +161,7 @@ loop:
 			go func() {
 				defer wg.Done()
 				defer inflight.Add(-1)
-				status, emb := oneRequest(ctx, client, opts, latAcc, latShed)
+				status, emb := oneRequest(ctx, client, opts, latAcc, latShed, &phases)
 				mu.Lock()
 				rep.StatusCounts[status]++
 				switch {
@@ -171,15 +184,48 @@ loop:
 	wg.Wait()
 	rep.Latency = latAcc.Summary()
 	rep.ShedLatency = latShed.Summary()
+	rep.ServerPhasesUS = phases.summaries()
 	if cancelled {
 		return rep, ctx.Err()
 	}
 	return rep, nil
 }
 
+// phaseHists aggregates the server-reported phase attribution from 2xx
+// responses, one histogram per obs phase. Histograms are atomic, so the
+// load goroutines write without the report mutex.
+type phaseHists struct {
+	h   [obs.NumPhases]*telemetry.Histogram
+	any atomic.Bool // set once the first response carries phases_us
+}
+
+func (p *phaseHists) observe(ph *obs.Phases) {
+	if ph == nil {
+		return
+	}
+	p.any.Store(true)
+	p.h[obs.PhaseParse].Observe(ph.Parse)
+	p.h[obs.PhaseQueue].Observe(ph.Queue)
+	p.h[obs.PhaseGraph].Observe(ph.Graph)
+	p.h[obs.PhaseSchedule].Observe(ph.Schedule)
+	p.h[obs.PhaseRun].Observe(ph.Run)
+	p.h[obs.PhaseEncode].Observe(ph.Encode)
+}
+
+func (p *phaseHists) summaries() map[string]telemetry.HistSummary {
+	if !p.any.Load() {
+		return nil
+	}
+	out := make(map[string]telemetry.HistSummary, obs.NumPhases)
+	for i, h := range p.h {
+		out[obs.Phase(i).String()] = h.Summary()
+	}
+	return out
+}
+
 // oneRequest issues a single query, recording latency by outcome.
 // Status 0 means the request never produced an HTTP response.
-func oneRequest(ctx context.Context, client *http.Client, opts LoadOptions, latAcc, latShed *telemetry.Histogram) (status int, embeddings int64) {
+func oneRequest(ctx context.Context, client *http.Client, opts LoadOptions, latAcc, latShed *telemetry.Histogram, phases *phaseHists) (status int, embeddings int64) {
 	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.URL, bytes.NewReader(opts.Body))
 	if err != nil {
@@ -202,6 +248,7 @@ func oneRequest(ctx context.Context, client *http.Client, opts LoadOptions, latA
 		var body Response
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) == nil {
 			embeddings = body.Embeddings
+			phases.observe(body.PhasesUS)
 		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		latShed.Observe(lat)

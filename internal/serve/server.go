@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"shogun/internal/datasets"
 	"shogun/internal/graph"
 	"shogun/internal/mine"
+	"shogun/internal/obs"
 	"shogun/internal/pattern"
 	"shogun/internal/sim"
 	"shogun/internal/telemetry"
@@ -66,6 +68,33 @@ type Config struct {
 	OnAccel func(*accel.Accelerator)
 	// Log, when non-nil, receives one line per served request.
 	Log io.Writer
+	// Obs enables the request observability plane: trace IDs, per-phase
+	// span attribution, the /metrics exposition, /v1/requests live
+	// inspection and the access/slow logs. Nil disables all of it at
+	// zero per-request cost.
+	Obs *ObsConfig
+}
+
+// ObsConfig parameterizes the request observability plane (see
+// internal/obs and DESIGN.md "Request observability").
+type ObsConfig struct {
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed request (buffered; flushed during graceful drain).
+	AccessLog io.Writer
+	// SlowLog, when non-nil, receives the detailed breakdown (full
+	// phases, error, governor snapshot) of every request slower than
+	// SlowThreshold.
+	SlowLog io.Writer
+	// SlowThreshold classifies a request as slow (default 1s).
+	SlowThreshold time.Duration
+	// SampleEvery is the epoch-sampler spacing (cycles) wired into
+	// served simulations so /v1/requests/{id} can join an in-flight
+	// request with its accelerator's live gauges (default 4096;
+	// negative disables sampling).
+	SampleEvery int
+	// Recent bounds the completed-request ring kept for inspection and
+	// on-demand Chrome export (default 64).
+	Recent int
 }
 
 func (c *Config) fill() {
@@ -127,6 +156,15 @@ type Server struct {
 	latShed    *telemetry.Histogram // µs, shed (429) requests
 	queueWait  *telemetry.Histogram // µs, time from arrival to admission
 	statusCnts [6]atomic.Int64      // by status class 0:2xx 1:4xx 2:5xx 3:429 4:499 5:422
+
+	// plane is the request observability layer (nil when Config.Obs is
+	// nil: every obs hook below degrades to a nil-receiver no-op).
+	plane       *obs.Plane
+	sampleEvery int
+	// drainUntil is the drain deadline (unix nanos, 0 before Drain):
+	// 503 Retry-After hints switch from the EWMA backlog estimate to
+	// "when this process will be gone" once it is set.
+	drainUntil atomic.Int64
 }
 
 // New binds cfg.Addr and returns a ready-to-Serve daemon. It fails fast
@@ -153,10 +191,27 @@ func New(cfg Config) (*Server, error) {
 		latShed:    telemetry.NewHistogram(),
 		queueWait:  telemetry.NewHistogram(),
 	}
+	if oc := cfg.Obs; oc != nil {
+		s.plane = obs.NewPlane(obs.Options{
+			AccessLog:     oc.AccessLog,
+			SlowLog:       oc.SlowLog,
+			SlowThreshold: oc.SlowThreshold,
+			Recent:        oc.Recent,
+		})
+		switch {
+		case oc.SampleEvery > 0:
+			s.sampleEvery = oc.SampleEvery
+		case oc.SampleEvery == 0:
+			s.sampleEvery = 4096
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/requests", s.handleRequests)
+	mux.HandleFunc("/v1/requests/", s.handleRequestByID)
 	mux.HandleFunc("/v1/count", s.handleQuery(OpCount))
 	mux.HandleFunc("/v1/mine", s.handleQuery(OpMine))
 	mux.HandleFunc("/v1/simulate", s.handleQuery(OpSimulate))
@@ -189,7 +244,11 @@ func (s *Server) Serve() error {
 // (possibly cancelled) within the timeout.
 func (s *Server) Drain(timeout time.Duration) error {
 	start := time.Now()
+	s.drainUntil.Store(start.Add(timeout).UnixNano())
 	s.adm.StartDrain()
+	// Whatever else happens below, the final requests' access/slow log
+	// lines must not die in a buffer when the process exits.
+	defer s.plane.Flush() //nolint:errcheck // flush error surfaced via Flush in tests
 	grace := s.cfg.DrainGrace
 	if grace > timeout/2 {
 		grace = timeout / 2
@@ -216,8 +275,16 @@ func (s *Server) Drain(timeout time.Duration) error {
 func (s *Server) Close() error {
 	s.adm.StartDrain()
 	s.hardCancel()
-	return s.http.Close()
+	err := s.http.Close()
+	if ferr := s.plane.Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }
+
+// Obs exposes the observability plane (nil when Config.Obs was nil) —
+// tests and embedders inspect completed spans through it.
+func (s *Server) Obs() *obs.Plane { return s.plane }
 
 // Op names a query kind.
 type Op string
@@ -289,6 +356,15 @@ type Response struct {
 
 	QueueMS   float64 `json:"queue_ms"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Trace echoes the request's trace ID (also in the X-Shogun-Trace
+	// response header) when observability is on.
+	Trace string `json:"trace,omitempty"`
+	// PhasesUS attributes the request's server-side time to lifecycle
+	// phases (µs). Encode is still running when the response is
+	// serialized, so it reads 0 here; the access log has the final
+	// value.
+	PhasesUS *obs.Phases `json:"phases_us,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -438,19 +514,35 @@ func (s *Server) countStatus(status int) {
 	s.served.Add(1)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, op Op, err error) {
+func (s *Server) writeError(w http.ResponseWriter, op Op, sp *obs.Span, err error) {
 	status, kind := classify(err)
 	body := ErrorBody{Error: err.Error(), Kind: kind}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		ra := s.adm.RetryAfter()
-		body.RetryAfterS = int64(ra / time.Second)
+		body.RetryAfterS = int64(s.retryAfter() / time.Second)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", body.RetryAfterS))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body) //nolint:errcheck // client-side failure
 	s.countStatus(status)
+	sp.End(status, kind, err.Error())
 	s.logf("%s %d %s: %v", op, status, kind, err)
+}
+
+// retryAfter picks the hint for a 429/503: normally the EWMA backlog
+// estimate, but once draining the backlog will never clear here — the
+// honest hint is when this process will be gone and a replacement can
+// answer (remaining drain time, at least 1s).
+func (s *Server) retryAfter() time.Duration {
+	if s.adm.Draining() {
+		if until := s.drainUntil.Load(); until != 0 {
+			if left := time.Until(time.Unix(0, until)); left > 0 {
+				return left.Round(time.Second) + time.Second
+			}
+		}
+		return time.Second
+	}
+	return s.adm.RetryAfter()
 }
 
 // handleQuery builds the handler for one query kind. The sequence is:
@@ -461,50 +553,66 @@ func (s *Server) writeError(w http.ResponseWriter, op Op, err error) {
 func (s *Server) handleQuery(op Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		arrived := time.Now()
+		// The span opens in PhaseParse; every exit path below funnels
+		// through writeError or the success epilogue, each of which Ends
+		// it exactly once (End is idempotent for the panic barrier).
+		sp := s.plane.Begin(string(op), r.Header.Get(obs.TraceHeader), arrived)
+		if sp != nil {
+			w.Header().Set(obs.TraceHeader, sp.TraceID())
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.panicked.Add(1)
 				err := fmt.Errorf("contained panic: %v", p)
 				s.logf("panic serving %s: %v\n%s", op, p, debug.Stack())
-				s.writeError(w, op, &sim.InvariantError{
+				s.writeError(w, op, sp, &sim.InvariantError{
 					Op: "serve: " + string(op), PanicValue: err, Stack: string(debug.Stack()),
 				})
 			}
 		}()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			s.writeError(w, op, badRequestf("use POST (got %s)", r.Method))
+			s.writeError(w, op, sp, badRequestf("use POST (got %s)", r.Method))
 			return
 		}
 		req, err := s.parseRequest(w, r)
 		if err != nil {
-			s.writeError(w, op, err)
+			s.writeError(w, op, sp, err)
 			return
 		}
+		sp.SetBudget(req.Budget.MaxWallMS, req.Budget.MaxEvents)
+		sp.To(obs.PhaseQueue)
 		if err := s.adm.Acquire(r.Context()); err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				err = fmt.Errorf("%w while queued (%v)", sim.ErrCancelled, err)
 			}
 			s.observeLatency(classifyStatus(err), arrived)
-			s.writeError(w, op, err)
+			s.writeError(w, op, sp, err)
 			return
 		}
 		admitted := time.Now()
 		s.queueWait.Observe(admitted.Sub(arrived).Microseconds())
 		defer func() { s.adm.Release(time.Since(admitted)) }()
 
-		resp, err := s.execute(r.Context(), op, req)
+		resp, err := s.execute(r.Context(), op, req, sp)
 		if err != nil {
 			s.observeLatency(classifyStatus(err), arrived)
-			s.writeError(w, op, err)
+			s.writeError(w, op, sp, err)
 			return
 		}
+		sp.To(obs.PhaseEncode)
 		resp.QueueMS = float64(admitted.Sub(arrived)) / float64(time.Millisecond)
 		resp.ElapsedMS = float64(time.Since(admitted)) / float64(time.Millisecond)
+		if sp != nil {
+			resp.Trace = sp.TraceID()
+			ph := sp.BreakdownUS()
+			resp.PhasesUS = &ph
+		}
 		s.latAccept.Observe(time.Since(arrived).Microseconds())
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client-side failure
 		s.countStatus(http.StatusOK)
+		sp.End(http.StatusOK, "ok", "")
 		s.logf("%s 200 %s/%s emb=%d queue=%.1fms run=%.1fms",
 			op, resp.GraphKey, resp.Schedule, resp.Embeddings, resp.QueueMS, resp.ElapsedMS)
 	}
@@ -628,15 +736,22 @@ func (s *Server) wallBudget(b Budget) time.Duration {
 }
 
 // execute resolves inputs and runs one admitted query under its budget.
-func (s *Server) execute(reqCtx context.Context, op Op, req *Request) (*Response, error) {
+// Phase accounting: graph resolution (cache lookup or single-flight
+// build), schedule resolution, then the governed run under pprof labels
+// so CPU profiles attribute samples by endpoint and pattern.
+func (s *Server) execute(reqCtx context.Context, op Op, req *Request, sp *obs.Span) (*Response, error) {
+	sp.To(obs.PhaseGraph)
 	cg, err := s.resolveGraph(req)
 	if err != nil {
 		return nil, err
 	}
+	sp.To(obs.PhaseSchedule)
 	sched, err := s.resolveSchedule(req)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetTarget(cg.key, sched.Name)
+	sp.To(obs.PhaseRun)
 	// The work context merges: the client connection (gone client stops
 	// the query), the drain hard-cancel (a blown drain deadline stops
 	// it), and the wall budget.
@@ -646,35 +761,57 @@ func (s *Server) execute(reqCtx context.Context, op Op, req *Request) (*Response
 	defer stop()
 
 	resp := &Response{Op: op, GraphKey: cg.key, Schedule: sched.Name}
-	switch op {
-	case OpCount, OpMine:
-		res, err := mine.ParallelCountContext(ctx, cg.g, sched, s.cfg.MinerWorkers)
-		if err != nil {
-			return nil, s.refineCancel(ctx, reqCtx, err)
+	run := func(ctx context.Context) error {
+		switch op {
+		case OpCount, OpMine:
+			res, err := mine.ParallelCountContext(ctx, cg.g, sched, s.cfg.MinerWorkers)
+			if err != nil {
+				return s.refineCancel(ctx, reqCtx, err)
+			}
+			resp.Embeddings = res.Embeddings
+			if op == OpMine {
+				resp.Tasks = res.Tasks()
+				resp.SetOpElements = res.SetOpElements
+				resp.LinesPerTask = res.AvgIntermediateLinesPerTask()
+			}
+		case OpSimulate:
+			res, err := s.simulate(ctx, req, cg.g, sched, sp)
+			if err != nil {
+				return s.refineCancel(ctx, reqCtx, err)
+			}
+			resp.Embeddings = res.Embeddings
+			resp.Cycles = int64(res.Cycles)
+			resp.SimTasks = res.Tasks + res.LeafTasks
+			resp.IUUtil = res.IUUtil
+			resp.L1HitRate = res.L1HitRate
+			resp.Events = res.Events
+			resp.Splits = res.Splits
+			resp.Merges = res.Merges
+		default:
+			return badRequestf("unknown op %q", op)
 		}
-		resp.Embeddings = res.Embeddings
-		if op == OpMine {
-			resp.Tasks = res.Tasks()
-			resp.SetOpElements = res.SetOpElements
-			resp.LinesPerTask = res.AvgIntermediateLinesPerTask()
-		}
-	case OpSimulate:
-		res, err := s.simulate(ctx, req, cg.g, sched)
-		if err != nil {
-			return nil, s.refineCancel(ctx, reqCtx, err)
-		}
-		resp.Embeddings = res.Embeddings
-		resp.Cycles = int64(res.Cycles)
-		resp.SimTasks = res.Tasks + res.LeafTasks
-		resp.IUUtil = res.IUUtil
-		resp.L1HitRate = res.L1HitRate
-		resp.Events = res.Events
-		resp.Splits = res.Splits
-		resp.Merges = res.Merges
-	default:
-		return nil, badRequestf("unknown op %q", op)
+		return nil
+	}
+	if s.plane != nil {
+		err = runLabeled(ctx, string(op), sched.Name, run)
+	} else {
+		err = run(ctx)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return resp, nil
+}
+
+// runLabeled runs fn under pprof labels: CPU (and goroutine) profiles
+// taken via /debug/pprof attribute the run's samples to its endpoint
+// and pattern. The miner's worker goroutines inherit the labels.
+func runLabeled(ctx context.Context, endpoint, pattern string, fn func(context.Context) error) error {
+	var err error
+	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "pattern", pattern), func(ctx context.Context) {
+		err = fn(ctx)
+	})
+	return err
 }
 
 // refineCancel sharpens a generic cancellation into its true cause: a
@@ -695,7 +832,7 @@ func (s *Server) refineCancel(workCtx, reqCtx context.Context, err error) error 
 }
 
 // simulate runs the accelerator under the request's clamped budgets.
-func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sched *pattern.Schedule) (*accel.Result, error) {
+func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sched *pattern.Schedule, sp *obs.Span) (*accel.Result, error) {
 	scheme := accel.Scheme(req.Scheme)
 	if req.Scheme == "" {
 		scheme = accel.SchemeShogun
@@ -715,12 +852,43 @@ func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sch
 	if req.Budget.DeadlineCycles > 0 {
 		cfg.Deadline = sim.Time(req.Budget.DeadlineCycles)
 	}
+	if sp != nil && s.sampleEvery > 0 && cfg.SampleEvery == 0 {
+		cfg.SampleEvery = sim.Time(s.sampleEvery)
+	}
 	a, err := accel.New(g, sched, cfg)
 	if err != nil {
 		return nil, badRequestf("%v", err)
 	}
 	if s.cfg.OnAccel != nil {
 		s.cfg.OnAccel(a)
+	}
+	if sp != nil {
+		if tel := a.Telemetry(); tel != nil {
+			// Joins a live /v1/requests/{id} view with the run: the
+			// sampler's columns are mutex-guarded, so reading the last
+			// epoch from another goroutine is safe while the engine
+			// keeps sampling.
+			sampler := tel.Sampler
+			sp.SetProgress(func() map[string]int64 {
+				ts := sampler.Snapshot()
+				out := make(map[string]int64, 8)
+				out["cycle"] = ts.EndCycle()
+				out["epochs"] = int64(len(ts.Cycles))
+				for _, name := range [...]string{
+					"engine/events", "tasks/executed", "dram/queue", "noc/inflight",
+				} {
+					if col := ts.Col(name); len(col) > 0 {
+						out[name] = col[len(col)-1]
+					}
+				}
+				return out
+			})
+		}
+		// The governor snapshot rides on the slow-request log: by the
+		// time the log renders it the run has finished, so reading the
+		// engine is safe.
+		eng := a.Engine()
+		sp.SetSnapshot(func() string { return eng.Snapshot().String() })
 	}
 	return a.RunContext(ctx)
 }

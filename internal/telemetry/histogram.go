@@ -249,6 +249,38 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
+// CumBucket is one step of a histogram's cumulative distribution.
+type CumBucket struct {
+	// Upper is the bucket's exclusive upper edge. Observations are
+	// integers strictly below it, so it also serves as an inclusive
+	// "less than or equal" bound (Prometheus `le`).
+	Upper int64
+	// Count is the cumulative number of observations below Upper.
+	Count int64
+}
+
+// Cumulative returns the non-empty buckets as a cumulative distribution
+// in ascending order — the shape a Prometheus-style exposition needs.
+// The final entry's Count equals the total at read time. Nil-safe.
+func (h *Histogram) Cumulative() []CumBucket {
+	if h == nil {
+		return nil
+	}
+	var out []CumBucket
+	var cum int64
+	for i := range h.counts {
+		if c := atomic.LoadInt64(&h.counts[i]); c != 0 {
+			cum += c
+			upper := int64(math.MaxInt64)
+			if i+1 < numBuckets {
+				upper = bucketLo(i + 1)
+			}
+			out = append(out, CumBucket{Upper: upper, Count: cum})
+		}
+	}
+	return out
+}
+
 // HistSummary is a JSON-exportable digest of a histogram.
 type HistSummary struct {
 	Count int64   `json:"count"`

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestProgressZeroCells pins rendering before any cell has completed:
+// the header must show 0/0, no progress bar (division by a zero total
+// must not panic or render a bar), and no recent-cells section.
+func TestProgressZeroCells(t *testing.T) {
+	p := NewProgress()
+	text := p.Text()
+	if !strings.Contains(text, "0/0 cells done") {
+		t.Fatalf("zero-state header missing, got:\n%s", text)
+	}
+	if strings.Contains(text, "[") {
+		t.Fatalf("progress bar rendered with zero total:\n%s", text)
+	}
+	if strings.Contains(text, "recent cells") {
+		t.Fatalf("recent section rendered with no cells:\n%s", text)
+	}
+
+	// Expected cells added but none finished: bar renders fully empty.
+	p.Add(8)
+	text = p.Text()
+	if !strings.Contains(text, "0/8 cells done") {
+		t.Fatalf("0/8 header missing:\n%s", text)
+	}
+	if !strings.Contains(text, "["+strings.Repeat(".", 40)+"]") {
+		t.Fatalf("empty 40-column bar missing with 0 completed:\n%s", text)
+	}
+
+	done, failed, total := p.Counts()
+	if done != 0 || failed != 0 || total != 8 {
+		t.Fatalf("Counts = (%d,%d,%d), want (0,0,8)", done, failed, total)
+	}
+}
+
+// TestProgressRendering covers the normal path: stage line, partial bar,
+// failures counted and surfaced in the recent ring.
+func TestProgressRendering(t *testing.T) {
+	p := NewProgress()
+	p.SetStage("sweep pe=8")
+	p.Add(4)
+	p.Cell("a", nil)
+	p.Cell("b", errors.New("boom"))
+	text := p.Text()
+	if !strings.Contains(text, "2/4 cells done, 1 failed") {
+		t.Fatalf("counts line wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "running: sweep pe=8") {
+		t.Fatalf("stage line missing:\n%s", text)
+	}
+	if !strings.Contains(text, "FAIL b: boom") {
+		t.Fatalf("failed cell missing from recent ring:\n%s", text)
+	}
+}
