@@ -9,10 +9,13 @@ import (
 )
 
 // lineLog is a buffered, mutex-guarded JSON-lines writer. Lines are
-// buffered for throughput and flushed either when FlushEvery has passed
-// since the last flush or explicitly via flush() — the daemon's
-// graceful drain calls the latter so the final requests of a SIGTERM
-// drain always reach the log.
+// buffered for throughput and flushed on three paths: log() flushes
+// inline when FlushEvery has passed since the last flush (hot path,
+// no timer wakeups under load), a background ticker flushes whatever
+// an idle daemon left behind so the last line of a burst never sits
+// in the buffer longer than ~FlushEvery, and flush() drains
+// explicitly — the daemon's graceful drain calls it so the final
+// requests of a SIGTERM drain always reach the log.
 type lineLog struct {
 	mu        sync.Mutex
 	w         *bufio.Writer
@@ -20,15 +23,53 @@ type lineLog struct {
 	lastFlush time.Time
 	err       error
 	buf       []byte // reused line buffer
+
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 func newLineLog(w io.Writer, every time.Duration) *lineLog {
-	return &lineLog{
+	l := &lineLog{
 		w:         bufio.NewWriterSize(w, 32<<10),
 		every:     every,
 		lastFlush: time.Now(),
 		buf:       make([]byte, 0, 512),
+		stop:      make(chan struct{}),
 	}
+	go l.flushLoop()
+	return l
+}
+
+// flushLoop drains the buffer every interval until close(). It skips
+// the syscall when the buffer is empty (quiet daemons stay quiet).
+func (l *lineLog) flushLoop() {
+	t := time.NewTicker(l.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if l.w.Buffered() > 0 {
+				if err := l.w.Flush(); err != nil && l.err == nil {
+					l.err = err
+				}
+				l.lastFlush = time.Now()
+			}
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// close stops the background flusher and drains the buffer one last
+// time. Nil-safe and idempotent.
+func (l *lineLog) close() error {
+	if l == nil {
+		return nil
+	}
+	l.stopOnce.Do(func() { close(l.stop) })
+	return l.flush()
 }
 
 // flush drains the buffer. Nil-safe (planes without a log pass nil).

@@ -171,6 +171,11 @@ func (p *Plane) SlowCount() int64 {
 // end unregisters the span, folds it into the latency families and the
 // completed ring, writes the logs and returns the span to the pool.
 // Called exactly once per span (Span.End guards re-entry).
+//
+// Pooling is safe because the inspection endpoints only reach spans
+// through p.inflight and only view them while holding p.mu: the delete
+// below happens under p.mu strictly before reset(), so once we release
+// the lock no reader can still hold this *Span.
 func (p *Plane) end(s *Span) {
 	now := time.Now()
 	s.mu.Lock()
@@ -260,20 +265,28 @@ func (p *Plane) Families() []Family {
 
 // Snapshot lists the live spans (oldest first) followed by nothing —
 // completed requests are listed by Recent.
+//
+// The views are built while p.mu is held: end() removes a span from
+// inflight under p.mu before resetting and pooling it, so any span
+// reachable here cannot be reset (or reissued by Begin) until we
+// release the lock. Viewing after unlock would race with that reset.
+// Lock order is p.mu → s.mu; no writer acquires p.mu while holding
+// s.mu, so this cannot deadlock.
 func (p *Plane) Snapshot() []SpanView {
 	if p == nil {
 		return nil
 	}
 	p.mu.Lock()
-	spans := make([]*Span, 0, len(p.inflight))
+	out := make([]SpanView, 0, len(p.inflight))
 	for _, s := range p.inflight {
-		spans = append(spans, s)
+		// end() marks a span done under s.mu before unregistering it
+		// under p.mu, so a completed span can linger here for a moment;
+		// it is no longer live and is about to land in the recent ring.
+		if v := s.View(); !v.Done {
+			out = append(out, v)
+		}
 	}
 	p.mu.Unlock()
-	out := make([]SpanView, 0, len(spans))
-	for _, s := range spans {
-		out = append(out, s.View())
-	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -293,15 +306,18 @@ func (p *Plane) Recent() []SpanView {
 	return out
 }
 
-// Lookup finds a request by ID, live or recently completed.
+// Lookup finds a request by ID, live or recently completed. As in
+// Snapshot, a live span is viewed while p.mu is still held so the view
+// cannot race with end()'s reset of the same span.
 func (p *Plane) Lookup(id uint64) (SpanView, bool) {
 	if p == nil {
 		return SpanView{}, false
 	}
 	p.mu.Lock()
 	if s, ok := p.inflight[id]; ok {
+		v := s.View()
 		p.mu.Unlock()
-		return s.View(), true
+		return v, true
 	}
 	for i := 0; i < p.recentN; i++ {
 		idx := (p.recentPos - 1 - i + len(p.recent)) % len(p.recent)
@@ -327,6 +343,24 @@ func (p *Plane) Flush() error {
 		first = err
 	}
 	if err := p.slow.flush(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Close stops the background log flushers and drains both logs one
+// last time. Idempotent and nil-safe; spans already in flight may
+// still End afterwards (their lines land in the buffer and reach the
+// writer on the next explicit Flush).
+func (p *Plane) Close() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if err := p.access.close(); err != nil {
+		first = err
+	}
+	if err := p.slow.close(); err != nil && first == nil {
 		first = err
 	}
 	return first

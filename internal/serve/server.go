@@ -247,8 +247,9 @@ func (s *Server) Drain(timeout time.Duration) error {
 	s.drainUntil.Store(start.Add(timeout).UnixNano())
 	s.adm.StartDrain()
 	// Whatever else happens below, the final requests' access/slow log
-	// lines must not die in a buffer when the process exits.
-	defer s.plane.Flush() //nolint:errcheck // flush error surfaced via Flush in tests
+	// lines must not die in a buffer when the process exits. Close also
+	// stops the plane's background flushers.
+	defer s.plane.Close() //nolint:errcheck // flush error surfaced via Flush in tests
 	grace := s.cfg.DrainGrace
 	if grace > timeout/2 {
 		grace = timeout / 2
@@ -276,7 +277,7 @@ func (s *Server) Close() error {
 	s.adm.StartDrain()
 	s.hardCancel()
 	err := s.http.Close()
-	if ferr := s.plane.Flush(); err == nil {
+	if ferr := s.plane.Close(); err == nil {
 		err = ferr
 	}
 	return err
@@ -525,8 +526,12 @@ func (s *Server) writeError(w http.ResponseWriter, op Op, sp *obs.Span, err erro
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body) //nolint:errcheck // client-side failure
 	s.countStatus(status)
-	sp.End(status, kind, err.Error())
 	s.logf("%s %d %s: %v", op, status, kind, err)
+	// End last: it retires sp to the span pool, after which sp may be
+	// re-issued to another request. Anything that could panic above runs
+	// while the span is still live, so the handler's panic barrier ends
+	// this request's span, never a stranger's.
+	sp.End(status, kind, err.Error())
 }
 
 // retryAfter picks the hint for a 429/503: normally the EWMA backlog
@@ -554,8 +559,11 @@ func (s *Server) handleQuery(op Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		arrived := time.Now()
 		// The span opens in PhaseParse; every exit path below funnels
-		// through writeError or the success epilogue, each of which Ends
-		// it exactly once (End is idempotent for the panic barrier).
+		// through writeError or the success epilogue. End retires the
+		// span to the pool, so both paths End strictly last and the
+		// epilogue nils sp — the panic barrier then cannot End a span
+		// that was already pooled and possibly re-issued to another
+		// request.
 		sp := s.plane.Begin(string(op), r.Header.Get(obs.TraceHeader), arrived)
 		if sp != nil {
 			w.Header().Set(obs.TraceHeader, sp.TraceID())
@@ -612,9 +620,10 @@ func (s *Server) handleQuery(op Op) http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client-side failure
 		s.countStatus(http.StatusOK)
-		sp.End(http.StatusOK, "ok", "")
 		s.logf("%s 200 %s/%s emb=%d queue=%.1fms run=%.1fms",
 			op, resp.GraphKey, resp.Schedule, resp.Embeddings, resp.QueueMS, resp.ElapsedMS)
+		sp.End(http.StatusOK, "ok", "")
+		sp = nil // pooled — the panic barrier must not see it again
 	}
 }
 
