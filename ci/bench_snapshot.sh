@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Benchmark snapshot: runs the perf-trajectory benchmark set (whole-
-# accelerator simulate, engine throughput, pool acquire, sampler on/off)
-# and emits one BENCH_<id>.json point for the repo's perf history.
+# accelerator simulate, engine throughput, pool acquire, sampler on/off,
+# multi-chip cluster scale-out) and emits one BENCH_<id>.json point for
+# the repo's perf history.
 #
 # Every benchmark runs -count times so the raw samples are suitable for
 # `benchstat old.txt new.txt` (the raw `go test -bench` lines are kept
@@ -12,9 +13,10 @@
 #   outfile  defaults to BENCH_<id>.json in the repo root
 #
 # Environment:
-#   BENCH_COUNT     samples per benchmark (default 5)
-#   BENCH_TIME      -benchtime for the accel benchmarks (default 10x)
-#   BENCH_SIM_TIME  -benchtime for the sim micro-benchmarks (default 2000000x)
+#   BENCH_COUNT         samples per benchmark (default 5)
+#   BENCH_TIME          -benchtime for the accel benchmarks (default 10x)
+#   BENCH_SIM_TIME      -benchtime for the sim micro-benchmarks (default 2000000x)
+#   BENCH_CLUSTER_TIME  -benchtime for the cluster scale-out benchmarks (default 3x)
 set -euo pipefail
 
 id=${1:?usage: bench_snapshot.sh <id> [outfile]}
@@ -23,6 +25,7 @@ out=${2:-"$root/BENCH_${id}.json"}
 count=${BENCH_COUNT:-5}
 btime=${BENCH_TIME:-10x}
 simtime=${BENCH_SIM_TIME:-2000000x}
+clustertime=${BENCH_CLUSTER_TIME:-3x}
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -37,6 +40,11 @@ echo "bench_snapshot: sim benchmarks (-count $count -benchtime $simtime)" >&2
     -bench 'BenchmarkEngineThroughput|BenchmarkPoolAcquire' \
     -benchmem -count "$count" -benchtime "$simtime") | tee -a "$tmp" >&2
 
+echo "bench_snapshot: cluster scale-out benchmarks (-count $count -benchtime $clustertime)" >&2
+(cd "$root" && go test ./internal/cluster/ -run '^$' \
+    -bench 'BenchmarkClusterSimulate' \
+    -benchmem -count "$count" -benchtime "$clustertime") | tee -a "$tmp" >&2
+
 commit=$(cd "$root" && git rev-parse --short HEAD 2>/dev/null || echo unknown)
 goversion=$(go env GOVERSION)
 goos=$(go env GOOS)
@@ -48,7 +56,7 @@ date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 # JSON: per benchmark, the median of each unit plus the raw lines.
 awk -v id="$id" -v commit="$commit" -v gover="$goversion" \
     -v goos="$goos" -v goarch="$goarch" -v cpus="$cpus" -v date="$date" \
-    -v count="$count" -v btime="$btime" -v simtime="$simtime" '
+    -v count="$count" -v btime="$btime" -v simtime="$simtime" -v clustertime="$clustertime" '
 function jsonunit(u) {
     gsub(/\//, "_per_", u); gsub(/[^A-Za-z0-9_]/, "_", u); return u
 }
@@ -83,7 +91,7 @@ END {
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", gover
     printf "  \"host\": {\"os\": \"%s\", \"arch\": \"%s\", \"cpus\": %s},\n", goos, goarch, cpus
-    printf "  \"flags\": {\"count\": %s, \"benchtime_accel\": \"%s\", \"benchtime_sim\": \"%s\"},\n", count, btime, simtime
+    printf "  \"flags\": {\"count\": %s, \"benchtime_accel\": \"%s\", \"benchtime_sim\": \"%s\", \"benchtime_cluster\": \"%s\"},\n", count, btime, simtime, clustertime
     printf "  \"benchmarks\": {\n"
     for (b = 1; b <= nb; b++) {
         name = order[b]

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"shogun/internal/accel"
+	"shogun/internal/cluster"
 	"shogun/internal/datasets"
 	"shogun/internal/graph"
 	"shogun/internal/mine"
@@ -55,6 +56,10 @@ func main() {
 		deadline = flag.Int64("deadline", 0, "abort after this many simulated cycles (0 = none)")
 		maxEv    = flag.Int64("maxevents", 0, "abort after this many simulation events (0 = none)")
 		maxWall  = flag.Duration("maxwall", 0, "abort after this much wall-clock time (0 = none)")
+		chips    = flag.Int("chips", 1, "number of accelerator chips (>1 simulates a multi-chip cluster)")
+		partMode = flag.String("partition", "", "cluster root partitioning: replicate (default) | hash | range")
+		partSeed = flag.Int64("partition-seed", 0, "seed for the hash partitioner")
+		steal    = flag.Bool("steal", true, "enable chip-level work stealing over the interconnect (shogun scheme)")
 		sampleEv = flag.Int64("sample-every", 0, "sample telemetry gauges every N cycles (0 = off)")
 		tsOut    = flag.String("timeseries-out", "", "write the sampled telemetry series to file (.json = JSON, else CSV; needs -sample-every)")
 		httpAddr = flag.String("http", "", "serve live inspection endpoints (JSON snapshot, expvar, pprof) on host:port (\":0\" picks a port)")
@@ -65,7 +70,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	tf := telemetryFlags{sampleEvery: *sampleEv, timeseriesOut: *tsOut, httpAddr: *httpAddr}
-	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *queue, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall, tf); err != nil {
+	cf := clusterFlags{chips: *chips, partition: *partMode, seed: *partSeed, steal: *steal}
+	if err := run(ctx, *dataset, *graphArg, *patName, *scheme, *queue, *pes, *width, *l1KB, *l2KB, *tokens, *bunches, *split, *merge, *verify, *verbose, *metricsF, *traceOut, *chromeT, *cfgPath, *dumpCfg, *deadline, *maxEv, *maxWall, tf, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "shogun:", err)
 		var inv *sim.InvariantError
 		var dead *sim.DeadlockError
@@ -104,8 +110,23 @@ func (tf telemetryFlags) validate() error {
 	return nil
 }
 
-func run(ctx context.Context, dataset, graphArg, patName, scheme, queue string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration, tf telemetryFlags) error {
+// clusterFlags carries the multi-chip options (-chips, -partition,
+// -partition-seed, -steal) through to run.
+type clusterFlags struct {
+	chips     int
+	partition string
+	seed      int64
+	steal     bool
+}
+
+func run(ctx context.Context, dataset, graphArg, patName, scheme, queue string, pes, width, l1KB, l2KB, tokens, bunches int, split, merge, verify, verbose, metricsF bool, traceOut, chromeOut, cfgPath string, dumpCfg bool, deadline, maxEvents int64, maxWall time.Duration, tf telemetryFlags, cf clusterFlags) error {
 	if err := tf.validate(); err != nil {
+		return err
+	}
+	if cf.chips < 1 {
+		return fmt.Errorf("-chips must be >= 1 (got %d)", cf.chips)
+	}
+	if _, err := cluster.ParseMode(cf.partition); err != nil {
 		return err
 	}
 	var g *graph.Graph
@@ -208,6 +229,10 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme, queue string, 
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d, avg %.1f, skew %.1f\n",
 		st.Vertices, st.Edges, st.MaxDegree, st.AvgDegree, st.Skewness)
 	fmt.Printf("schedule %s:\n%s", s.Name, s.String())
+
+	if cf.chips > 1 {
+		return runCluster(ctx, g, s, cfg, cf, pes, width, verify, metricsF, tf)
+	}
 
 	a, err := accel.New(g, s, cfg)
 	if err != nil {
@@ -338,6 +363,69 @@ func run(ctx context.Context, dataset, graphArg, patName, scheme, queue string, 
 		want := mine.Count(g, s)
 		if want != res.Embeddings {
 			return fmt.Errorf("VERIFY FAILED: simulator found %d embeddings, software miner %d", res.Embeddings, want)
+		}
+		fmt.Printf("verify: OK (software miner agrees: %d)\n", want)
+	}
+	return nil
+}
+
+// runCluster simulates a multi-chip scale-out system: the chip config
+// built from the usual flags is replicated across -chips chips, the root
+// space is split by -partition, and chip-level work stealing rides the
+// inter-chip interconnect. Cross-chip conservation identities verify by
+// default on every run.
+func runCluster(ctx context.Context, g *graph.Graph, s *pattern.Schedule, chip accel.Config, cf clusterFlags, pes, width int, verify, metricsF bool, tf telemetryFlags) error {
+	ccfg := cluster.DefaultConfig(chip.Scheme, cf.chips)
+	ccfg.Chip = chip
+	ccfg.Partition = cluster.Mode(cf.partition)
+	ccfg.PartitionSeed = cf.seed
+	ccfg.Steal = cf.steal
+	cl, err := cluster.New(g, s, ccfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %s\n", cl.Partition())
+	res, err := cl.RunContext(ctx)
+	if err != nil {
+		if errors.Is(err, sim.ErrCancelled) {
+			eng := cl.Engine()
+			fmt.Printf("\ninterrupted at cycle %d after %d events\n", int64(eng.Now()), eng.Processed)
+		}
+		return err
+	}
+
+	fmt.Printf("\nscheme=%s chips=%d pes/chip=%d width=%d partition=%s\n",
+		res.Scheme, res.Chips, pes, width, res.Partition)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("embeddings:      %d\n", res.Embeddings)
+	fmt.Printf("tasks:           %d internal + %d leaf\n", res.Tasks, res.LeafTasks)
+	fmt.Printf("occupancy:       max %.1f%% mean %.1f%% (max/mean %.2f)\n",
+		res.MaxOccupancy*100, res.MeanOccupancy*100, res.ImbalanceRatio())
+	fmt.Printf("migrations:      %d subtrees (%d retries)\n", res.Migrations, res.AdoptRetries)
+	fmt.Printf("interconnect:    %d messages, %d lines\n", res.InterMessages, res.InterLines)
+	for i, st := range res.PerChip {
+		fmt.Printf("  chip%d: %d roots, %d tasks, %d embeddings, occ %.1f%%, migrated out=%d in=%d\n",
+			i, st.Vertices, st.Tasks, st.Embeddings, st.Occupancy*100, st.MigratedOut, st.MigratedIn)
+	}
+	if tf.timeseriesOut != "" {
+		if err := writeTimeSeries(tf.timeseriesOut, res.Telemetry); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry series: %s (%d epochs, every %d cycles)\n",
+			tf.timeseriesOut, len(res.Telemetry.Cycles), res.Telemetry.Interval)
+	}
+	if metricsF {
+		reg := cl.Metrics()
+		fmt.Printf("\nhardware counters:\n%s", reg.Report())
+		if err := reg.Verify(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: all %d conservation invariants hold\n", reg.Invariants())
+	}
+	if verify {
+		want := mine.Count(g, s)
+		if want != res.Embeddings {
+			return fmt.Errorf("VERIFY FAILED: cluster found %d embeddings, software miner %d", res.Embeddings, want)
 		}
 		fmt.Printf("verify: OK (software miner agrees: %d)\n", want)
 	}

@@ -155,6 +155,21 @@ type Accelerator struct {
 
 	Splits sim.Counter
 	Merges sim.Counter
+
+	// MigratedOut / MigratedIn count chip-level split subtrees leaving /
+	// entering this chip over a cluster interconnect (internal/cluster).
+	// Zero outside cluster runs.
+	MigratedOut sim.Counter
+	MigratedIn  sim.Counter
+
+	// OnChipIdle, when set, fires whenever a PE idles while the whole
+	// chip is quiet (every PE idle, no pending work or split transfers) —
+	// the cluster scheduler's work-stealing signal.
+	OnChipIdle func()
+	// KeepSampling, when set, keeps the telemetry sampler re-arming while
+	// it returns true even after this chip drains, so a cluster's epoch
+	// series stays aligned across chips that finish at different times.
+	KeepSampling func() bool
 }
 
 // Actor ops for the accelerator's event callbacks (see sim.Engine.Post):
@@ -189,6 +204,16 @@ func (a *Accelerator) Act(op int, arg any) {
 
 // New builds an accelerator for graph g and schedule s.
 func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) {
+	return NewShared(g, s, cfg, nil, nil)
+}
+
+// NewShared builds an accelerator on a caller-owned engine — the
+// multi-chip cluster (internal/cluster) drives N chips on one shared
+// clock. A nil eng allocates a private engine (the single-chip path).
+// roots, when non-nil, replaces the default all-vertices root assignment
+// with the given list (the cluster's graph partitioner owns vertex
+// placement); nil keeps every vertex.
+func NewShared(g *graph.Graph, s *pattern.Schedule, cfg Config, eng *sim.Engine, roots []graph.VertexID) (*Accelerator, error) {
 	if cfg.NumPEs < 1 {
 		return nil, fmt.Errorf("accel: need at least one PE")
 	}
@@ -203,13 +228,16 @@ func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) 
 		// matching a banked-L2 crossbar that scales with the PE array.
 		cfg.NoC.Links = 2 * cfg.NumPEs
 	}
-	qkind, err := sim.ParseQueueKind(cfg.EventQueue)
-	if err != nil {
-		return nil, fmt.Errorf("accel: %w", err)
+	if eng == nil {
+		qkind, err := sim.ParseQueueKind(cfg.EventQueue)
+		if err != nil {
+			return nil, fmt.Errorf("accel: %w", err)
+		}
+		eng = sim.NewEngineQueue(qkind)
 	}
 	a := &Accelerator{
 		cfg:  cfg,
-		eng:  sim.NewEngineQueue(qkind),
+		eng:  eng,
 		w:    task.NewWorkload(g, s),
 		dram: mem.NewDRAM(cfg.DRAM),
 		noc:  mem.NewNoC(cfg.NoC),
@@ -230,10 +258,16 @@ func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Accelerator, error) 
 	for i := range a.peRoots {
 		a.peRoots[i] = &policy.SliceRoots{}
 	}
-	for base := 0; base < g.NumVertices(); base += rootChunk {
+	if roots == nil {
+		roots = make([]graph.VertexID, g.NumVertices())
+		for i := range roots {
+			roots[i] = graph.VertexID(i)
+		}
+	}
+	for base := 0; base < len(roots); base += rootChunk {
 		pe := (base / rootChunk) % cfg.NumPEs
-		for v := base; v < base+rootChunk && v < g.NumVertices(); v++ {
-			a.peRoots[pe].Vertices = append(a.peRoots[pe].Vertices, graph.VertexID(v))
+		for v := base; v < base+rootChunk && v < len(roots); v++ {
+			a.peRoots[pe].Vertices = append(a.peRoots[pe].Vertices, roots[v])
 		}
 	}
 
@@ -388,31 +422,71 @@ func (a *Accelerator) RunContext(ctx context.Context) (res *Result, err error) {
 			}
 		}
 	}()
-	for _, p := range a.pes {
-		p.Kick()
-	}
-	a.armMerge()
-	a.armSampler()
-	b := sim.Budget{
-		MaxEvents:  a.cfg.MaxEvents,
-		Deadline:   a.cfg.Deadline,
-		MaxWall:    a.cfg.MaxWall,
-		PollEvents: a.cfg.WatchdogPoll,
-	}
-	if err := a.eng.RunGoverned(ctx, b); err != nil {
+	a.Start()
+	if err := a.eng.RunGoverned(ctx, a.Budget()); err != nil {
 		return nil, fmt.Errorf("accel: %w", err)
 	}
-	for _, p := range a.pes {
-		if p.HasWork() {
-			return nil, &sim.DeadlockError{Op: "accel: run", Snapshot: a.snapshot()}
-		}
+	if err := a.Drained(); err != nil {
+		return nil, err
 	}
 	if a.cfg.VerifyMetrics {
 		if err := a.VerifyMetrics(); err != nil {
 			return nil, fmt.Errorf("accel: %w", err)
 		}
 	}
-	return a.collect(), nil
+	return a.Collect(), nil
+}
+
+// Start kicks every PE and arms the periodic merge/sampler loops without
+// running the engine — the cluster driver starts all chips on the shared
+// clock, then runs the engine itself. RunContext calls it internally.
+func (a *Accelerator) Start() {
+	for _, p := range a.pes {
+		p.Kick()
+	}
+	a.armMerge()
+	a.armSampler()
+}
+
+// Budget assembles the run governor's budget from the config's watchdog
+// knobs (the cluster driver applies the per-chip budgets to the shared
+// engine run).
+func (a *Accelerator) Budget() sim.Budget {
+	return sim.Budget{
+		MaxEvents:  a.cfg.MaxEvents,
+		Deadline:   a.cfg.Deadline,
+		MaxWall:    a.cfg.MaxWall,
+		PollEvents: a.cfg.WatchdogPoll,
+	}
+}
+
+// Drained verifies no PE holds unfinished work after the event queue
+// emptied; a stuck policy surfaces as *sim.DeadlockError with the
+// chip's diagnostic snapshot.
+func (a *Accelerator) Drained() error {
+	for _, p := range a.pes {
+		if p.HasWork() {
+			return &sim.DeadlockError{Op: "accel: run", Snapshot: a.snapshot()}
+		}
+	}
+	return nil
+}
+
+// ChipIdle reports whether the whole chip is quiet: every PE idle with
+// no pending work and no split transfer in flight. The cluster scheduler
+// treats a quiet chip as a work-stealing helper.
+func (a *Accelerator) ChipIdle() bool {
+	for _, p := range a.pes {
+		if !p.Idle() || p.HasWork() {
+			return false
+		}
+	}
+	for _, pending := range a.splitPending {
+		if pending {
+			return false
+		}
+	}
+	return true
 }
 
 // snapshot captures the diagnostic state attached to invariant and
@@ -461,6 +535,10 @@ func (a *Accelerator) CheckConservation() error {
 	}
 	return fmt.Errorf("accel: resource leak(s) after run: %v", leaks)
 }
+
+// Collect aggregates the post-run Result (exposed for the cluster
+// driver, which runs the shared engine itself).
+func (a *Accelerator) Collect() *Result { return a.collect() }
 
 func (a *Accelerator) collect() *Result {
 	// Cycles measures work completion: the latest task completion across

@@ -13,14 +13,18 @@ import (
 // the system scheduler checks whether busy PEs should split their task
 // trees onto the idlers.
 func (a *Accelerator) onPEIdle(_ *pe.PE) {
-	if !a.cfg.EnableSplitting || a.cfg.Scheme != SchemeShogun {
-		return
+	if a.cfg.EnableSplitting && a.cfg.Scheme == SchemeShogun {
+		// With static dispatch an idle PE's own root queue is already
+		// empty, so idleness while peers stay busy IS the imbalance
+		// signal; the multi-round mechanism (§4.1) keeps sharing the
+		// stragglers' current trees as they drain through their backlogs.
+		a.armBalance()
 	}
-	// With static dispatch an idle PE's own root queue is already empty,
-	// so idleness while peers stay busy IS the imbalance signal; the
-	// multi-round mechanism (§4.1) keeps sharing the stragglers' current
-	// trees as they drain through their backlogs.
-	a.armBalance()
+	// At cluster scope the same signal one level up: a fully quiet chip
+	// is a work-stealing helper candidate.
+	if a.OnChipIdle != nil && a.ChipIdle() {
+		a.OnChipIdle()
+	}
 }
 
 // armBalance schedules one imbalance check (debounced).

@@ -1,0 +1,132 @@
+package accel
+
+import (
+	"shogun/internal/core"
+	"shogun/internal/graph"
+	"shogun/internal/mem"
+	"shogun/internal/sim"
+)
+
+// SplitExport is one carved depth-1 subtree in flight between chips —
+// the §4.1 split payload lifted to cluster scope. The candidate set is a
+// snapshot: the victim's root node may be recycled before the transfer
+// lands on the adopting chip.
+type SplitExport struct {
+	RootVertex graph.VertexID
+	Cand       []graph.VertexID
+	SpawnLimit int
+	Lo, Hi     int
+}
+
+// Lines reports the payload size in cache lines (the candidate set; the
+// root+range and set-size control messages ride as zero-line transfers).
+func (x *SplitExport) Lines() int64 {
+	if len(x.Cand) == 0 {
+		return 0
+	}
+	return (int64(len(x.Cand))*4 + mem.LineBytes - 1) / mem.LineBytes
+}
+
+// CarveExport carves a splittable depth-1 range off one of this chip's
+// task trees for migration to another chip, scanning PEs in order.
+// Returns ok=false when no tree holds enough unexplored range (or the
+// scheme is not Shogun). The carved range is owned by the returned
+// payload — the caller must eventually deliver it to an adopter or the
+// subtree's embeddings are lost.
+func (a *Accelerator) CarveExport() (*SplitExport, bool) {
+	for _, p := range a.pes {
+		t, ok := p.Policy().(*core.Tree)
+		if !ok {
+			return nil, false
+		}
+		root := t.SplittableRoot()
+		if root == nil {
+			continue
+		}
+		lo, hi, ok := t.CarveSplit(root, 1)
+		if !ok {
+			continue
+		}
+		x := &SplitExport{
+			RootVertex: root.Vertex,
+			Cand:       append([]graph.VertexID(nil), root.Cand...),
+			SpawnLimit: root.SpawnLimit,
+			Lo:         lo,
+			Hi:         hi,
+		}
+		a.MigratedOut.Inc(1)
+		return x, true
+	}
+	return nil, false
+}
+
+// TryAdopt installs a migrated subtree onto one of this chip's PEs at
+// the current engine time (the cluster scheduler has already paid the
+// interconnect latency). Unless force is set only a quiet PE adopts;
+// force relaxes that to any PE with a free depth-1 token (the chaos
+// harness's mid-run forced migration). Returns false when no PE can
+// accept now — the caller retries, because the carved range must never
+// be dropped.
+func (a *Accelerator) TryAdopt(x *SplitExport, force bool) bool {
+	now := a.eng.Now()
+	for _, p := range a.pes {
+		t, ok := p.Policy().(*core.Tree)
+		if !ok {
+			return false
+		}
+		if !force && (!p.Idle() || p.HasWork()) {
+			continue
+		}
+		if a.splitPending[p.ID] {
+			continue
+		}
+		slot, ok := a.toks[p.ID].TryAcquire(1)
+		if !ok {
+			continue
+		}
+		if !t.AdoptSplit(x.RootVertex, x.Cand, x.SpawnLimit, x.Lo, x.Hi, slot) {
+			a.toks[p.ID].Release(1, slot)
+			continue
+		}
+		// One-time copy of the transferred set into the adopter's L1 —
+		// the same install the intra-chip split delivery models.
+		mem.AccessRange(p.L1, now, a.w.Map.SetAddr(slot), int64(len(x.Cand))*4, true)
+		if a.tel != nil {
+			a.tel.SplitLines.Observe(x.Lines())
+		}
+		a.MigratedIn.Inc(1)
+		p.Kick()
+		return true
+	}
+	return false
+}
+
+// EndTime reports the run's completion cycle (latest task completion
+// across this chip's PEs).
+func (a *Accelerator) EndTime() sim.Time { return a.endTime() }
+
+// BusySlotCycles sums the PEs' execution-slot residency — the numerator
+// of a chip-occupancy ratio over cluster cycles.
+func (a *Accelerator) BusySlotCycles() int64 {
+	var n int64
+	for _, p := range a.pes {
+		n += p.SlotResidency.TotalSum
+	}
+	return n
+}
+
+// SlotCapacityPerCycle reports the chip's execution-slot capacity per
+// cycle (PEs × width) — the denominator factor of chip occupancy.
+func (a *Accelerator) SlotCapacityPerCycle() int64 {
+	return int64(a.cfg.NumPEs) * int64(a.cfg.PE.Width)
+}
+
+// Scheme reports the configured scheduling scheme (after alias
+// normalization).
+func (a *Accelerator) Scheme() Scheme { return a.cfg.Scheme }
+
+// InstallPerturb wires a service-time perturber into this chip's FU,
+// DRAM and NoC pools after construction — equivalent to building with
+// Config.Perturb, for callers (the cluster chaos harness) that need a
+// distinct perturber per chip under one shared chip Config.
+func (a *Accelerator) InstallPerturb(pr sim.Perturber) { a.installPerturb(pr) }

@@ -206,7 +206,13 @@ func (a *Accelerator) Metrics() *metrics.Registry {
 	sm.Counter("splits-carved", performed)
 	sm.Counter("merge-feeds", merges)
 	sm.Counter("conservative-transitions", transitions)
-	sm.Eq("splits delivered == splits received", splits, splitsReceived)
+	// Cluster migrations (chip-level splits over the interconnect) land
+	// in the same per-tree SplitsReceived counter as local deliveries;
+	// outside cluster runs both migration counters are zero and the
+	// identity reduces to the original delivered == received.
+	migIn := sm.Counter("migrated-in", a.MigratedIn.Total)
+	sm.Counter("migrated-out", a.MigratedOut.Total)
+	sm.Eq("splits delivered + migrations in == splits received", splits+migIn, splitsReceived)
 	var pending int64
 	for _, inFlight := range a.splitPending {
 		if inFlight {

@@ -136,6 +136,12 @@ func (a *Accelerator) armSampler() {
 func (a *Accelerator) samplerTick() {
 	a.samplerArmed = false
 	a.tel.Sampler.Sample(int64(a.eng.Now()))
+	// Cluster runs keep every chip sampling until the whole cluster
+	// drains, so the per-chip epoch columns stay aligned.
+	if a.KeepSampling != nil && a.KeepSampling() {
+		a.armSampler()
+		return
+	}
 	for _, p := range a.pes {
 		if !p.Idle() || p.HasWork() {
 			a.armSampler()

@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{"breakdown", "cycle-attribution breakdown per scheme (observability extension)", wrap1(Breakdown)},
 		{"imbalance", "load imbalance over time, split on/off (telemetry extension)", wrap1(Imbalance)},
 		{"scaling", "strong scaling across PE counts, split on/off (extension)", wrap1(Scaling)},
+		{"cluster", "multi-chip scale-out: speedup, chip occupancy, migrations at 1-16 chips (extension)", wrap1(ClusterScaling)},
 	}
 }
 

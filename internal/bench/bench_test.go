@@ -37,7 +37,7 @@ func TestGeomean(t *testing.T) {
 }
 
 func TestLookupAndExperimentList(t *testing.T) {
-	ids := []string{"table1", "table2", "table3", "table4", "fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation", "scaling", "breakdown", "imbalance"}
+	ids := []string{"table1", "table2", "table3", "table4", "fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "ablation", "scaling", "breakdown", "imbalance", "cluster"}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {
 			t.Errorf("Lookup(%q): %v", id, err)
@@ -130,6 +130,37 @@ func TestQuickExperimentsRun(t *testing.T) {
 			if out, err := tbl.Format(f); err != nil || out == "" {
 				t.Errorf("%s render %s: %v", tbl.ID, f, err)
 			}
+		}
+	}
+}
+
+// TestQuickClusterScalingRuns drives the multi-chip scale-out sweep on
+// the quick dataset and checks the table shape plus the monotone facts
+// we can assert without pinning cycle counts: every row verified against
+// the software miner (inside ClusterScaling), 1-chip row is the speedup
+// baseline, and occupancy ratios are well-formed percentages.
+func TestQuickClusterScalingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := ClusterScaling(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("cluster rows = %d, want 5", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "1" || tbl.Rows[0][2] != "1.00x" {
+		t.Errorf("1-chip baseline row = %v", tbl.Rows[0])
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "FAILED" {
+			t.Errorf("chips=%s failed", row[0])
+		}
+	}
+	for _, f := range []string{"text", "csv", "markdown"} {
+		if out, err := tbl.Format(f); err != nil || out == "" {
+			t.Errorf("cluster render %s: %v", f, err)
 		}
 	}
 }

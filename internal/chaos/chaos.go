@@ -43,9 +43,10 @@ type Injector struct {
 
 	// Counters report what was actually injected (so tests can assert
 	// the harness exercised anything at all).
-	Jitters int64
-	Flips   int64
-	Splits  int64
+	Jitters    int64
+	Flips      int64
+	Splits     int64
+	Migrations int64
 }
 
 // New builds an Injector for the given config.
@@ -115,4 +116,37 @@ func (in *Injector) Attach(a *accel.Accelerator) {
 		}
 		eng.After(in.cfg.SplitPeriod, split)
 	}
+}
+
+// ClusterTarget is the surface AttachCluster needs from a multi-chip
+// system: its shared event engine, a liveness predicate, and the forced
+// chip-level migration hook. Declared as an interface so chaos does not
+// import internal/cluster (which imports accel, which chaos serves).
+type ClusterTarget interface {
+	Engine() *sim.Engine
+	Busy() bool
+	ForceMigrate() bool
+}
+
+// AttachCluster schedules forced chip-level subtree migrations on the
+// cluster's shared event loop every period cycles — the forced-split
+// fault tick lifted one level. The tick stops rescheduling once the
+// cluster drains, so the event queue still empties at run end. A zero
+// period disables the tick.
+func (in *Injector) AttachCluster(c ClusterTarget, period sim.Time) {
+	if period <= 0 {
+		return
+	}
+	eng := c.Engine()
+	var tick func()
+	tick = func() {
+		if !c.Busy() {
+			return
+		}
+		if c.ForceMigrate() {
+			in.Migrations++
+		}
+		eng.After(period, tick)
+	}
+	eng.After(period, tick)
 }

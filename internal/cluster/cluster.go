@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"shogun/internal/accel"
+	"shogun/internal/graph"
+	"shogun/internal/mem"
+	"shogun/internal/pattern"
+	"shogun/internal/sim"
+	"shogun/internal/telemetry"
+)
+
+// Config parameterizes a multi-chip cluster.
+type Config struct {
+	// Chips is the number of accelerator chips (≥ 1).
+	Chips int
+	// Partition selects the static root-vertex partitioner (empty =
+	// replicate, the baseline that is bit-identical to a single chip at
+	// Chips == 1).
+	Partition Mode
+	// PartitionSeed drives the hash partitioner (ignored by the others).
+	PartitionSeed int64
+	// Chip configures every chip identically (the shared engine's queue
+	// discipline comes from Chip.EventQueue; the per-run governor
+	// budgets from Chip.Deadline/MaxEvents/MaxWall).
+	Chip accel.Config
+	// Interconnect models the chip-to-chip fabric as a second NoC level:
+	// per-link latency/bandwidth plus message counters. Zero links
+	// auto-sizes to one link per chip.
+	Interconnect mem.NoCConfig
+	// Steal enables chip-level task-tree splitting: an overloaded chip
+	// exports a carved depth-1 subtree and an idle chip adopts it over
+	// the interconnect. Shogun-scheme chips only.
+	Steal bool
+	// StealPeriod is the work-stealing re-check cadence (0 = the chip's
+	// BalancePeriod).
+	StealPeriod sim.Time
+	// VerifyMetrics runs the cross-chip conservation pass (and every
+	// chip's own ~63-identity pass) after each successful run. On by
+	// default via DefaultConfig.
+	VerifyMetrics bool
+}
+
+// DefaultConfig mirrors accel.DefaultConfig at cluster scope: Table 3
+// chips behind an inter-chip fabric an order of magnitude slower than
+// the on-chip NoC.
+func DefaultConfig(scheme accel.Scheme, chips int) Config {
+	return Config{
+		Chips:     chips,
+		Partition: ModeReplicate,
+		Chip:      accel.DefaultConfig(scheme),
+		// A serial chip-to-chip link: ~10× the on-chip hop latency and
+		// 4× the per-line occupancy of the on-chip crossbar.
+		Interconnect:  mem.NoCConfig{Links: 0 /* auto: 1 per chip */, HopLat: 40, FlitCycles: 4},
+		Steal:         true,
+		VerifyMetrics: true,
+	}
+}
+
+// Cluster is N chips on one shared deterministic clock.
+type Cluster struct {
+	cfg   Config
+	eng   *sim.Engine
+	inter *mem.NoC
+	chips []*accel.Accelerator
+	part  *Partition
+
+	stealArmed bool
+	adoptBusy  []bool // helper chip has an in-flight or retrying adoption
+	inFlight   int
+
+	// Migrations counts delivered chip-level subtree transfers;
+	// LinesSent/LinesRecv count interconnect payload lines at carve and
+	// adopt time (the sent == received identity).
+	Migrations sim.Counter
+	LinesSent  sim.Counter
+	LinesRecv  sim.Counter
+	// AdoptRetries counts deliveries that found no PE able to adopt and
+	// went back to sleep (forced mid-run migrations mostly).
+	AdoptRetries sim.Counter
+}
+
+// Actor ops for the cluster scheduler's event callbacks.
+const (
+	opStealCheck = iota
+	opArmStealIfNeeded
+	opDeliverMigration
+)
+
+// migration is one in-flight chip-to-chip subtree transfer.
+type migration struct {
+	to    int
+	x     *accel.SplitExport
+	force bool
+}
+
+// Act dispatches the cluster's event callbacks (sim.Actor).
+func (c *Cluster) Act(op int, arg any) {
+	switch op {
+	case opStealCheck:
+		c.stealCheck()
+	case opArmStealIfNeeded:
+		c.armStealIfNeeded()
+	case opDeliverMigration:
+		c.deliverMigration(arg.(*migration))
+	default:
+		panic("cluster: unknown actor op")
+	}
+}
+
+// New builds a cluster for graph g and schedule s: one shared engine,
+// the static partition, and cfg.Chips accelerator instances whose root
+// sets are the partition's. The graph itself is replicated on every
+// chip (G²Miner's multi-GPU arrangement); only the work is partitioned.
+func New(g *graph.Graph, s *pattern.Schedule, cfg Config) (*Cluster, error) {
+	if cfg.Chips < 1 {
+		return nil, fmt.Errorf("cluster: need at least one chip, got %d", cfg.Chips)
+	}
+	mode, err := ParseMode(string(cfg.Partition))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Partition = mode
+	if cfg.StealPeriod <= 0 {
+		cfg.StealPeriod = cfg.Chip.BalancePeriod
+		if cfg.StealPeriod <= 0 {
+			cfg.StealPeriod = 4096
+		}
+	}
+	if cfg.Interconnect.Links <= 0 {
+		cfg.Interconnect.Links = cfg.Chips
+	}
+	if cfg.Steal && cfg.Chip.Scheme != accel.SchemeShogun {
+		// Chip-level splitting rides the Shogun task tree; other schemes
+		// run partitioned but cannot migrate subtrees.
+		cfg.Steal = false
+	}
+	qkind, err := sim.ParseQueueKind(cfg.Chip.EventQueue)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	part, err := NewPartition(g, mode, cfg.Chips, cfg.PartitionSeed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		eng:       sim.NewEngineQueue(qkind),
+		inter:     mem.NewNoC(cfg.Interconnect),
+		part:      part,
+		adoptBusy: make([]bool, cfg.Chips),
+	}
+	for i := 0; i < cfg.Chips; i++ {
+		roots := part.Roots[i]
+		if cfg.Chips == 1 {
+			// The 1-chip replicated baseline hands accel the nil default
+			// so the root-dealing code path is byte-for-byte the
+			// single-chip engine's.
+			roots = nil
+		}
+		chip, err := accel.NewShared(g, s, cfg.Chip, c.eng, roots)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: chip %d: %w", i, err)
+		}
+		if cfg.Chips > 1 {
+			chip.KeepSampling = c.busy
+			if cfg.Steal {
+				chip.OnChipIdle = c.armSteal
+			}
+		}
+		c.chips = append(c.chips, chip)
+	}
+	return c, nil
+}
+
+// busy reports whether any chip still holds work or a migration is in
+// flight — the sampler keep-alive and steal-loop re-arm predicate.
+func (c *Cluster) busy() bool {
+	if c.inFlight > 0 {
+		return true
+	}
+	for _, chip := range c.chips {
+		if !chip.ChipIdle() {
+			return true
+		}
+	}
+	return false
+}
+
+// armSteal schedules one work-stealing check (debounced), mirroring the
+// intra-chip balance loop one level up.
+func (c *Cluster) armSteal() {
+	if c.stealArmed || !c.cfg.Steal || c.cfg.Chips < 2 {
+		return
+	}
+	c.stealArmed = true
+	c.eng.PostAfter(1, c, opStealCheck, nil)
+}
+
+func (c *Cluster) armStealIfNeeded() {
+	if c.busy() {
+		c.armSteal()
+	}
+}
+
+// stealCheck detects cluster-level imbalance — quiet chips while others
+// stay busy — and migrates one carved subtree per idle chip, paying the
+// interconnect's three-message transfer (root+range, set size, candidate
+// lines; §4.1's protocol lifted one level). Multiple rounds occur
+// naturally: the check re-arms while the cluster stays busy.
+func (c *Cluster) stealCheck() {
+	c.stealArmed = false
+	var idle, busyChips []int
+	for i, chip := range c.chips {
+		if chip.ChipIdle() && !c.adoptBusy[i] {
+			idle = append(idle, i)
+		} else if !chip.ChipIdle() {
+			busyChips = append(busyChips, i)
+		}
+	}
+	if len(idle) > 0 && len(busyChips) > 0 {
+		h := 0
+		for _, v := range busyChips {
+			if h >= len(idle) {
+				break
+			}
+			x, ok := c.chips[v].CarveExport()
+			if !ok {
+				continue
+			}
+			c.sendMigration(idle[h], x, false)
+			h++
+		}
+	}
+	if c.busy() {
+		c.eng.PostAfter(c.cfg.StealPeriod, c, opArmStealIfNeeded, nil)
+	}
+}
+
+// sendMigration models the transfer: two control messages plus the
+// candidate payload across the interconnect, then a delivery event on
+// the adopting chip at arrival time.
+func (c *Cluster) sendMigration(to int, x *accel.SplitExport, force bool) {
+	now := c.eng.Now()
+	lines := x.Lines()
+	c.inter.Transfer(now, 0)
+	c.inter.Transfer(now, 0)
+	arrive := c.inter.Transfer(now, lines)
+	c.LinesSent.Inc(lines)
+	c.adoptBusy[to] = true
+	c.inFlight++
+	c.eng.Post(arrive, c, opDeliverMigration, &migration{to: to, x: x, force: force})
+}
+
+// deliverMigration installs the migrated subtree on the adopting chip,
+// retrying while no PE can take it — the carved range must never be
+// dropped. Retries always terminate: once the cluster otherwise drains,
+// every PE on the adopter is idle and adoption succeeds.
+func (c *Cluster) deliverMigration(m *migration) {
+	if c.chips[m.to].TryAdopt(m.x, m.force) {
+		c.adoptBusy[m.to] = false
+		c.inFlight--
+		c.LinesRecv.Inc(m.x.Lines())
+		c.Migrations.Inc(1)
+		return
+	}
+	c.AdoptRetries.Inc(1)
+	c.eng.PostAfter(c.cfg.StealPeriod, c, opDeliverMigration, m)
+}
+
+// ForceMigrate carves one chip-level split and ships it to the next chip
+// regardless of the imbalance signal — the chaos harness's cluster-scope
+// fault injection (mirrors accel.ForceSplit). The adopting chip may be
+// busy; delivery retries until a PE accepts. Reports whether a migration
+// was initiated. Only meaningful when stealing is enabled.
+func (c *Cluster) ForceMigrate() bool {
+	if !c.cfg.Steal || c.cfg.Chips < 2 {
+		return false
+	}
+	for v := range c.chips {
+		x, ok := c.chips[v].CarveExport()
+		if !ok {
+			continue
+		}
+		for off := 1; off < len(c.chips); off++ {
+			h := (v + off) % len(c.chips)
+			if c.adoptBusy[h] {
+				continue
+			}
+			c.sendMigration(h, x, true)
+			return true
+		}
+		// Every other chip already has an adoption in flight: deliver to
+		// the next chip anyway once its slot frees — retrying here keeps
+		// the carved range alive.
+		c.sendMigration((v+1)%len(c.chips), x, true)
+		return true
+	}
+	return false
+}
+
+// Busy reports whether the cluster still holds work (chaos-harness tick
+// predicate).
+func (c *Cluster) Busy() bool { return c.busy() }
+
+// Engine exposes the shared event engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Interconnect exposes the chip-to-chip fabric (chaos perturbation,
+// tests).
+func (c *Cluster) Interconnect() *mem.NoC { return c.inter }
+
+// Chips exposes the per-chip accelerators.
+func (c *Cluster) Chips() []*accel.Accelerator { return c.chips }
+
+// Partition exposes the static vertex partition.
+func (c *Cluster) Partition() *Partition { return c.part }
+
+// ChipStats is the per-chip slice of a cluster Result.
+type ChipStats struct {
+	Vertices    int
+	Embeddings  int64
+	Tasks       int64
+	LeafTasks   int64
+	Cycles      sim.Time // this chip's last task completion
+	Occupancy   float64  // busy slot-cycles / (capacity × cluster cycles)
+	MigratedOut int64
+	MigratedIn  int64
+}
+
+// Result aggregates one cluster run.
+type Result struct {
+	Chips     int
+	Partition Mode
+	Scheme    accel.Scheme
+	Cycles    sim.Time // cluster makespan: latest chip completion
+	Events    int64
+
+	Embeddings int64
+	Tasks      int64
+	LeafTasks  int64
+
+	Migrations    int64
+	AdoptRetries  int64
+	InterMessages int64
+	InterLines    int64
+
+	// MaxOccupancy / MeanOccupancy summarize chip-level load balance —
+	// the headline scaling metric (max/mean == 1 is perfect balance).
+	MaxOccupancy  float64
+	MeanOccupancy float64
+
+	PerChip []ChipStats
+	// ChipResults carries each chip's full single-chip Result.
+	ChipResults []*accel.Result
+	// Telemetry is the cluster-scope epoch series (one occupancy column
+	// per chip; nil when sampling was off).
+	Telemetry *telemetry.TimeSeries `json:",omitempty"`
+}
+
+// Run simulates to completion. See RunContext.
+func (c *Cluster) Run() (*Result, error) { return c.RunContext(context.Background()) }
+
+// RunContext drives all chips on the shared clock under the run governor
+// (budgets from the chip config). Failure modes mirror accel.RunContext:
+// wrapped sim sentinels on tripped budgets or cancellation,
+// *sim.DeadlockError when the queue drains with work or a migration
+// still pending, contained panics as *sim.InvariantError.
+func (c *Cluster) RunContext(ctx context.Context) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &sim.InvariantError{
+				Op:         "cluster: run",
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+				Snapshot:   c.snapshot(),
+			}
+		}
+	}()
+	for _, chip := range c.chips {
+		chip.Start()
+	}
+	if err := c.eng.RunGoverned(ctx, c.chips[0].Budget()); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	for _, chip := range c.chips {
+		if err := chip.Drained(); err != nil {
+			return nil, err
+		}
+	}
+	if c.inFlight != 0 {
+		return nil, &sim.DeadlockError{Op: "cluster: run", Snapshot: c.snapshot()}
+	}
+	if c.cfg.VerifyMetrics {
+		if err := c.Verify(); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+	return c.collect(), nil
+}
+
+// snapshot captures cluster-scope diagnostics for invariant/deadlock
+// errors: engine progress plus per-chip idle/migration state.
+func (c *Cluster) snapshot() *sim.Snapshot {
+	s := c.eng.Snapshot()
+	for i, chip := range c.chips {
+		s.Notes = append(s.Notes, fmt.Sprintf(
+			"chip%d: idle=%t adoptBusy=%t migratedOut=%d migratedIn=%d",
+			i, chip.ChipIdle(), c.adoptBusy[i], chip.MigratedOut.Total, chip.MigratedIn.Total))
+	}
+	s.Notes = append(s.Notes, fmt.Sprintf(
+		"cluster: inFlight=%d delivered=%d retries=%d", c.inFlight, c.Migrations.Total, c.AdoptRetries.Total))
+	return s
+}
+
+func (c *Cluster) collect() *Result {
+	r := &Result{
+		Chips:         c.cfg.Chips,
+		Partition:     c.cfg.Partition,
+		Scheme:        c.cfg.Chip.Scheme,
+		Events:        c.eng.Processed,
+		Migrations:    c.Migrations.Total,
+		AdoptRetries:  c.AdoptRetries.Total,
+		InterMessages: c.inter.Messages.Total,
+		InterLines:    c.inter.LinesMoved.Total,
+	}
+	for _, chip := range c.chips {
+		if end := chip.EndTime(); end > r.Cycles {
+			r.Cycles = end
+		}
+	}
+	var occSum float64
+	for i, chip := range c.chips {
+		cr := chip.Collect()
+		r.ChipResults = append(r.ChipResults, cr)
+		st := ChipStats{
+			Vertices:    len(c.part.Roots[i]),
+			Embeddings:  cr.Embeddings,
+			Tasks:       cr.Tasks,
+			LeafTasks:   cr.LeafTasks,
+			Cycles:      cr.Cycles,
+			MigratedOut: chip.MigratedOut.Total,
+			MigratedIn:  chip.MigratedIn.Total,
+		}
+		if r.Cycles > 0 {
+			st.Occupancy = float64(chip.BusySlotCycles()) /
+				(float64(chip.SlotCapacityPerCycle()) * float64(r.Cycles))
+		}
+		occSum += st.Occupancy
+		if st.Occupancy > r.MaxOccupancy {
+			r.MaxOccupancy = st.Occupancy
+		}
+		r.PerChip = append(r.PerChip, st)
+		r.Embeddings += cr.Embeddings
+		r.Tasks += cr.Tasks
+		r.LeafTasks += cr.LeafTasks
+	}
+	r.MeanOccupancy = occSum / float64(len(c.chips))
+	r.Telemetry = c.timeSeries()
+	return r
+}
+
+// ImbalanceRatio reports max/mean chip occupancy from a collected
+// result (1.0 = perfect balance; 0 when idle).
+func (r *Result) ImbalanceRatio() float64 {
+	if r.MeanOccupancy == 0 {
+		return 0
+	}
+	return r.MaxOccupancy / r.MeanOccupancy
+}

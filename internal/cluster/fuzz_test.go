@@ -1,0 +1,60 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"shogun/internal/cluster"
+	"shogun/internal/graph"
+)
+
+// FuzzPartitioner drives NewPartition with random small graphs and
+// partition configs and checks the structural invariants via Validate:
+// every vertex assigned exactly once, cut-edge bookkeeping consistent
+// with the graph's degree sums, and no empty chip unless V < N.
+func FuzzPartitioner(f *testing.F) {
+	f.Add(int64(1), 16, 120, 2, int64(0), uint8(0))
+	f.Add(int64(2), 64, 400, 5, int64(7), uint8(1))
+	f.Add(int64(3), 3, 2, 8, int64(42), uint8(2))
+	f.Add(int64(4), 1, 0, 1, int64(-1), uint8(0))
+	f.Add(int64(5), 200, 900, 16, int64(1<<40), uint8(1))
+	f.Fuzz(func(t *testing.T, graphSeed int64, n, m, chips int, seed int64, modeSel uint8) {
+		if n < 1 || n > 512 || m < 0 || m > 4096 || chips < 1 || chips > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(graphSeed))
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u := graph.VertexID(rng.Intn(n))
+			v := graph.VertexID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+		g, err := graph.New(n, edges)
+		if err != nil {
+			t.Fatalf("graph.New: %v", err)
+		}
+		modes := []cluster.Mode{cluster.ModeReplicate, cluster.ModeHash, cluster.ModeRange}
+		mode := modes[int(modeSel)%len(modes)]
+		p, err := cluster.NewPartition(g, mode, chips, seed)
+		if err != nil {
+			t.Fatalf("NewPartition(%s, chips=%d): %v", mode, chips, err)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Errorf("%s over %d chips, seed %d: %v", mode, chips, seed, err)
+		}
+		// The partition must be a pure function of (graph, mode, chips,
+		// seed): rebuilding yields the identical assignment.
+		q, err := cluster.NewPartition(g, mode, chips, seed)
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		for v := range p.Owner {
+			if p.Owner[v] != q.Owner[v] {
+				t.Fatalf("partition not deterministic: vertex %d on chip %d then %d", v, p.Owner[v], q.Owner[v])
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"shogun/internal/telemetry"
+)
+
+// timeSeries derives the cluster-scope epoch series from the per-chip
+// samplers: each chip's per-PE resident columns sum into one
+// "chip{i}/resident" column (so TimeSeries.Imbalance("/resident") reads
+// chip-level balance), alongside a "chip{i}/tasks" cumulative-executed
+// column. Derivation is post-hoc — it adds no engine events, which is
+// what keeps a 1-chip cluster bit-identical to the single-chip engine.
+//
+// The per-chip epoch grids stay aligned because every chip samples on
+// the same shared clock with the same interval/capacity and, at chips
+// > 1, KeepSampling holds every sampler live until the whole cluster
+// drains. Decimation therefore triggers at the same epoch on every
+// chip; a defensive truncation to the shortest grid guards the
+// remainder.
+func (c *Cluster) timeSeries() *telemetry.TimeSeries {
+	type chipCols struct {
+		resident []int64
+		tasks    []int64
+	}
+	var (
+		out  *telemetry.TimeSeries
+		cols []chipCols
+	)
+	for _, chip := range c.chips {
+		tel := chip.Telemetry()
+		if tel == nil {
+			return nil // sampling off (uniform config)
+		}
+		ts := tel.Sampler.Snapshot()
+		if out == nil {
+			out = &telemetry.TimeSeries{Interval: ts.Interval, Cycles: ts.Cycles}
+		} else if len(ts.Cycles) < len(out.Cycles) {
+			out.Cycles = out.Cycles[:len(ts.Cycles)]
+		}
+		cc := chipCols{tasks: ts.Col("tasks/executed")}
+		for _, s := range ts.Series {
+			if strings.HasSuffix(s.Name, "/resident") {
+				if cc.resident == nil {
+					cc.resident = make([]int64, len(s.Vals))
+				}
+				for i, v := range s.Vals {
+					if i < len(cc.resident) {
+						cc.resident[i] += v
+					}
+				}
+			}
+		}
+		cols = append(cols, cc)
+	}
+	if out == nil {
+		return nil
+	}
+	n := len(out.Cycles)
+	clip := func(v []int64) []int64 {
+		if len(v) > n {
+			return v[:n]
+		}
+		return v
+	}
+	for i, cc := range cols {
+		out.Series = append(out.Series,
+			telemetry.Series{Name: fmt.Sprintf("chip%d/resident", i), Vals: clip(cc.resident)},
+			telemetry.Series{Name: fmt.Sprintf("chip%d/tasks", i), Vals: clip(cc.tasks)})
+	}
+	return out
+}

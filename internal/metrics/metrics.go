@@ -134,6 +134,15 @@ func (r *Registry) Family(name string) *Family {
 // Families returns the registered families in declaration order.
 func (r *Registry) Families() []*Family { return r.fams }
 
+// Adopt registers an existing family under a new name, so a larger
+// system can nest a component's registry inside its own (a cluster run
+// prefixes each chip's families with "chip{i}/" and one Verify pass
+// covers the whole machine). The family's counters and invariants are
+// shared, not copied — families are immutable once built.
+func (r *Registry) Adopt(name string, f *Family) {
+	r.fams = append(r.fams, &Family{Name: name, counters: f.counters, invs: f.invs})
+}
+
 // Verify checks every declared invariant and returns a *VerifyError
 // listing all violations, or nil when every identity holds.
 func (r *Registry) Verify() error {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"shogun/internal/accel"
+	"shogun/internal/cluster"
 	"shogun/internal/datasets"
 	"shogun/internal/graph"
 	"shogun/internal/mine"
@@ -330,6 +331,13 @@ type Request struct {
 	Width int  `json:"width,omitempty"`
 	Split bool `json:"split,omitempty"`
 	Merge bool `json:"merge,omitempty"`
+	// Chips > 1 simulates a multi-chip cluster (simulate only): the
+	// machine above is replicated per chip and the root-vertex space is
+	// split by Partition (replicate | hash | range; default replicate)
+	// with PartitionSeed driving the hash partitioner.
+	Chips         int    `json:"chips,omitempty"`
+	Partition     string `json:"partition,omitempty"`
+	PartitionSeed int64  `json:"partition_seed,omitempty"`
 	// Budget bounds the request.
 	Budget Budget `json:"budget,omitempty"`
 }
@@ -354,6 +362,12 @@ type Response struct {
 	Events    int64   `json:"events,omitempty"`
 	Splits    int64   `json:"splits,omitempty"`
 	Merges    int64   `json:"merges,omitempty"`
+
+	// Cluster statistics (simulate with chips > 1).
+	Chips         int     `json:"chips,omitempty"`
+	Migrations    int64   `json:"migrations,omitempty"`
+	MaxOccupancy  float64 `json:"max_occupancy,omitempty"`
+	MeanOccupancy float64 `json:"mean_occupancy,omitempty"`
 
 	QueueMS   float64 `json:"queue_ms"`
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -660,6 +674,12 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*Request,
 	if req.Budget.MaxEvents < 0 || req.Budget.DeadlineCycles < 0 || req.Budget.MaxWallMS < 0 {
 		return nil, badRequestf("budget values must be non-negative")
 	}
+	if req.Chips < 0 {
+		return nil, badRequestf("chips must be non-negative (got %d)", req.Chips)
+	}
+	if _, err := cluster.ParseMode(req.Partition); err != nil {
+		return nil, badRequestf("%v", err)
+	}
 	return &req, nil
 }
 
@@ -784,6 +804,21 @@ func (s *Server) execute(reqCtx context.Context, op Op, req *Request, sp *obs.Sp
 				resp.LinesPerTask = res.AvgIntermediateLinesPerTask()
 			}
 		case OpSimulate:
+			if req.Chips > 1 {
+				res, err := s.simulateCluster(ctx, req, cg.g, sched, sp)
+				if err != nil {
+					return s.refineCancel(ctx, reqCtx, err)
+				}
+				resp.Embeddings = res.Embeddings
+				resp.Cycles = int64(res.Cycles)
+				resp.SimTasks = res.Tasks + res.LeafTasks
+				resp.Events = res.Events
+				resp.Chips = res.Chips
+				resp.Migrations = res.Migrations
+				resp.MaxOccupancy = res.MaxOccupancy
+				resp.MeanOccupancy = res.MeanOccupancy
+				return nil
+			}
 			res, err := s.simulate(ctx, req, cg.g, sched, sp)
 			if err != nil {
 				return s.refineCancel(ctx, reqCtx, err)
@@ -840,8 +875,10 @@ func (s *Server) refineCancel(workCtx, reqCtx context.Context, err error) error 
 	}
 }
 
-// simulate runs the accelerator under the request's clamped budgets.
-func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sched *pattern.Schedule, sp *obs.Span) (*accel.Result, error) {
+// simConfig builds the simulated chip's config from the request's
+// machine-shape knobs and clamped budgets (shared by the single-chip
+// and cluster paths).
+func (s *Server) simConfig(req *Request, sp *obs.Span) accel.Config {
 	scheme := accel.Scheme(req.Scheme)
 	if req.Scheme == "" {
 		scheme = accel.SchemeShogun
@@ -864,6 +901,37 @@ func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sch
 	if sp != nil && s.sampleEvery > 0 && cfg.SampleEvery == 0 {
 		cfg.SampleEvery = sim.Time(s.sampleEvery)
 	}
+	return cfg
+}
+
+// simulateCluster runs a multi-chip scale-out simulation (Chips > 1)
+// under the request's clamped budgets. Cross-chip conservation
+// identities verify by default.
+func (s *Server) simulateCluster(ctx context.Context, req *Request, g *graph.Graph, sched *pattern.Schedule, sp *obs.Span) (*cluster.Result, error) {
+	chip := s.simConfig(req, sp)
+	ccfg := cluster.DefaultConfig(chip.Scheme, req.Chips)
+	ccfg.Chip = chip
+	ccfg.Partition = cluster.Mode(req.Partition)
+	ccfg.PartitionSeed = req.PartitionSeed
+	cl, err := cluster.New(g, sched, ccfg)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	if s.cfg.OnAccel != nil {
+		for _, chip := range cl.Chips() {
+			s.cfg.OnAccel(chip)
+		}
+	}
+	if sp != nil {
+		eng := cl.Engine()
+		sp.SetSnapshot(func() string { return eng.Snapshot().String() })
+	}
+	return cl.RunContext(ctx)
+}
+
+// simulate runs the accelerator under the request's clamped budgets.
+func (s *Server) simulate(ctx context.Context, req *Request, g *graph.Graph, sched *pattern.Schedule, sp *obs.Span) (*accel.Result, error) {
+	cfg := s.simConfig(req, sp)
 	a, err := accel.New(g, sched, cfg)
 	if err != nil {
 		return nil, badRequestf("%v", err)
